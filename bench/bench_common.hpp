@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/scenarios.hpp"
+#include "stats/probe.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::bench {
+
+inline void header(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", what, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+/// Print a (time, value) series as aligned columns.
+inline void print_series(const char* name, const char* unit,
+                         const stats::TimeSeries& ts, std::size_t stride = 1) {
+  std::printf("# %s [%s]\n", name, unit);
+  std::printf("%12s %14s\n", "t_us", name);
+  for (std::size_t i = 0; i < ts.points.size(); i += stride)
+    std::printf("%12.1f %14.3f\n", sim::to_us(ts.points[i].first),
+                ts.points[i].second);
+}
+
+/// Ring trace: queue length of the H1-facing port at S1 plus the
+/// host-programmed input rate, sampled every `period` (Figs 5/9/10 style).
+struct RingTrace {
+  stats::TimeSeries queue_kb;
+  stats::TimeSeries rate_gbps;
+  bool deadlocked = false;
+  sim::TimePs deadlock_at = -1;
+  double tail_gbps_per_host = 0;
+  std::uint64_t violations = 0;
+};
+
+inline RingTrace trace_ring(const runner::ScenarioConfig& cfg,
+                            sim::TimePs duration, sim::TimePs sample = sim::us(100)) {
+  runner::RingScenario s = runner::make_ring(cfg);
+  net::Network& net = s.fabric->net();
+  stats::ThroughputSampler tp(net, sim::us(100));
+  stats::DeadlockDetector det(net);
+  RingTrace out;
+  stats::PeriodicProbe probe(net.sched(), sample, [&](sim::TimePs now) {
+    out.queue_kb.add(now, static_cast<double>(s.fabric->ingress_queue_bytes(
+                              s.info.switches[1], s.info.hosts[1])) /
+                              1000.0);
+    out.rate_gbps.add(
+        now, s.fabric->egress_rate(s.info.hosts[1], s.info.switches[1]).gbps());
+  });
+  net.run_until(duration);
+  out.deadlocked = det.deadlocked();
+  out.deadlock_at = det.detected_at();
+  out.tail_gbps_per_host = tp.average_gbps(0, duration * 3 / 4, duration) / 3.0;
+  out.violations = net.counters().lossless_violations;
+  return out;
+}
+
+inline void print_ring_summary(const char* label, const RingTrace& t) {
+  std::printf("%-14s deadlock=%-3s %-12s tail throughput/host=%5.2f Gb/s  "
+              "final queue=%6.1f KB  final rate=%5.2f Gb/s  violations=%llu\n",
+              label, t.deadlocked ? "YES" : "no",
+              t.deadlocked ? ("@" + sim::format_time(t.deadlock_at)).c_str() : "",
+              t.tail_gbps_per_host, t.queue_kb.last(), t.rate_gbps.last(),
+              static_cast<unsigned long long>(t.violations));
+}
+
+}  // namespace gfc::bench

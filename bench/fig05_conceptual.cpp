@@ -1,0 +1,62 @@
+// Figure 5: 2-to-1 congestion — evolutions of ingress queue length and
+// input rate under PFC vs conceptual GFC.
+// Parameters (Sec 4.1): C = 10G, tau = 25 us, B_m = 100 KB, B_0 = 50 KB,
+// XOFF = 80 KB, XON = 77 KB. Expected: PFC oscillates between XON/XOFF
+// with the rate flapping 0 <-> 10G; GFC converges to B_s = 75 KB at 5 Gb/s.
+#include "bench_common.hpp"
+
+using namespace gfc;
+using namespace gfc::runner;
+
+namespace {
+
+struct Trace {
+  stats::TimeSeries queue_kb;
+  stats::TimeSeries rate_gbps;
+};
+
+Trace run(const FcSetup& fc) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 110'000;
+  cfg.arch = net::SwitchArch::kCioqRoundRobin;
+  cfg.control_delay = sim::us(25) - 2 * sim::tx_time(sim::gbps(10), 1500) -
+                      2 * sim::us(1);
+  cfg.fc = fc;
+  IncastScenario s = make_incast(cfg, 2);
+  net::Network& net = s.fabric->net();
+  Trace t;
+  stats::ThroughputSampler tx_rate(net, sim::us(25),
+                                   stats::ThroughputSampler::Key::kPerSrcHost);
+  stats::PeriodicProbe probe(net.sched(), sim::us(25), [&](sim::TimePs now) {
+    t.queue_kb.add(now, static_cast<double>(s.fabric->ingress_queue_bytes(
+                            s.info.sw, s.info.senders[0])) /
+                            1000.0);
+    // Instantaneous input rate: delivered bytes of sender 0 per bin.
+    const auto series = tx_rate.series_gbps(s.info.senders[0]);
+    t.rate_gbps.add(now, series.size() >= 2 ? series[series.size() - 2] : 0.0);
+  });
+  net.run_until(sim::ms(3));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 5: queue & input-rate evolution, 2-to-1 incast",
+                "Fig. 5(a) PFC vs Fig. 5(b) conceptual GFC");
+  const Trace pfc = run(FcSetup::pfc(80'000, 77'000));
+  const Trace gfc = run(FcSetup::gfc_conceptual(50'000, 100'000));
+
+  std::printf("\n--- PFC (XOFF 80 KB / XON 77 KB) ---\n");
+  bench::print_series("queue_KB", "KB", pfc.queue_kb, 4);
+  std::printf("\n--- conceptual GFC (B0 50 KB, Bm 100 KB) ---\n");
+  bench::print_series("queue_KB", "KB", gfc.queue_kb, 4);
+
+  std::printf("\nSummary (paper: PFC oscillates near XON/XOFF; GFC steady at "
+              "B_s = 75 KB):\n");
+  std::printf("  PFC  queue mean(2..3ms) = %6.1f KB (oscillating)\n",
+              pfc.queue_kb.mean(sim::ms(2), sim::ms(3)));
+  std::printf("  GFC  queue mean(2..3ms) = %6.1f KB (steady, B_s = 75)\n",
+              gfc.queue_kb.mean(sim::ms(2), sim::ms(3)));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figures 16 & 17: overall performance with the empirical closed-loop
+// workload. (a) CBD-free random scenarios: all four mechanisms deliver
+// similar average available bandwidth and slowdown — GFC introduces no
+// side effects. (b) deadlock-prone scenarios: PFC/CBFC collapse to zero
+// bandwidth / unbounded FCT once deadlock strikes, GFC keeps working.
+#include "bench_common.hpp"
+
+using namespace gfc;
+using namespace gfc::runner;
+
+namespace {
+
+struct Agg {
+  double bw_sum = 0, sd_sum = 0;
+  int n = 0, deadlocks = 0;
+  void add(const RunSummary& r) {
+    if (!r.deadlocked) {
+      bw_sum += r.per_host_gbps;
+      sd_sum += r.mean_slowdown;
+      ++n;
+    } else {
+      ++deadlocks;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Figures 16/17: average available bandwidth and slowdown",
+                "Fig. 16(a)/(b), Fig. 17(a)/(b), Sec 6.2.3");
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int kCbdFreeCases = quick ? 6 : 14;
+  const int k = 4;
+  const FcKind kinds[4] = {FcKind::kPfc, FcKind::kCbfc, FcKind::kGfcBuffer,
+                           FcKind::kGfcTime};
+  const char* names[4] = {"PFC", "CBFC", "GFC-buffer", "GFC-time"};
+
+  // --- (a) CBD-free cases -------------------------------------------------
+  std::printf("\n(a) CBD-free random scenarios (k=%d, 5%% failures, "
+              "enterprise workload, %d cases x 12 ms)\n",
+              k, kCbdFreeCases);
+  std::printf("%-12s %18s %14s %9s\n", "mechanism", "avail bw [Gb/s/host]",
+              "mean slowdown", "deadlocks");
+  Agg free_agg[4];
+  for (int m = 0; m < 4; ++m) {
+    int found = 0;
+    for (std::uint64_t seed = 1; found < kCbdFreeCases && seed < 400; ++seed) {
+      ScenarioConfig cfg;
+      cfg.switch_buffer = 300'000;
+      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
+                               cfg.tau());
+      auto s = make_random_fattree(cfg, k, 0.05, seed);
+      if (s.cbd_prone) continue;
+      ++found;
+      RunOptions opts;
+      opts.duration = sim::ms(12);
+      opts.workload_seed = 1000 + seed;
+      free_agg[m].add(run_closed_loop(s, opts));
+    }
+    std::printf("%-12s %18.2f %14.1f %9d\n", names[m],
+                free_agg[m].bw_sum / free_agg[m].n,
+                free_agg[m].sd_sum / free_agg[m].n, free_agg[m].deadlocks);
+  }
+
+  // --- (b) deadlock-prone cases --------------------------------------------
+  // The baselines get the CBD stress probe (the flow combination the
+  // paper's repeats hunt for); once it locks, throughput is zero forever.
+  // GFC runs the same deadlock-prone topologies with the organic
+  // closed-loop workload: combinations come and go, nothing locks, and the
+  // long-run average matches the CBD-free numbers (the paper's Fig 16(b)).
+  std::printf("\n(b) deadlock-prone scenarios\n");
+  std::printf("%-12s %18s %9s\n", "mechanism", "avail bw [Gb/s/host]",
+              "deadlocks");
+  for (int m = 0; m < 4; ++m) {
+    const bool is_gfc =
+        kinds[m] == FcKind::kGfcBuffer || kinds[m] == FcKind::kGfcTime;
+    double bw_sum = 0;
+    int n = 0, deadlocks = 0;
+    for (std::uint64_t seed = 1; seed <= (quick ? 40u : 160u); ++seed) {
+      topo::Topology t;
+      topo::build_fattree(t, k);
+      sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(k));
+      const auto failed = topo::random_failures(t, rng, 0.05);
+      const auto routing = topo::compute_shortest_paths(t);
+      topo::BufferDependencyGraph g(t);
+      g.add_routing_closure(routing);
+      const auto cbd = g.find_cycle();
+      if (!cbd.has_cbd) continue;
+      const auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
+      if (!stress.covered) continue;
+      ScenarioConfig cfg;
+      cfg.switch_buffer = 300'000;
+      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
+                               cfg.tau());
+      auto s = make_fattree(cfg, k, failed);
+      if (is_gfc) {
+        RunOptions opts;
+        opts.duration = sim::ms(12);
+        opts.workload_seed = 77 + seed;
+        const RunSummary r = run_closed_loop(s, opts);
+        if (r.deadlocked) ++deadlocks;
+        bw_sum += r.per_host_gbps;
+        ++n;
+        continue;
+      }
+      net::Network& net = s.fabric->net();
+      for (const auto& f : stress.flows) {
+        net::Flow& flow =
+            net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
+        flow.path_salt = f.salt;
+      }
+      stats::ThroughputSampler tp(net, sim::us(100));
+      stats::DeadlockDetector det(net);
+      net.run_until(sim::ms(12));
+      if (det.deadlocked()) ++deadlocks;
+      bw_sum += tp.average_gbps(0, sim::ms(9), sim::ms(12)) /
+                static_cast<double>(s.info.hosts.size());
+      ++n;
+    }
+    std::printf("%-12s %18.2f %9d   (over %d prone cases%s)\n", names[m],
+                n > 0 ? bw_sum / n : 0.0, deadlocks, n,
+                is_gfc ? ", organic workload" : ", stress probe");
+  }
+  std::printf("\nPaper shape: (a) all mechanisms similar; (b) PFC/CBFC go to "
+              "~0 (deadlock), GFC keeps delivering.\n"
+              "Note: under the *sustained* stress probe GFC still never "
+              "deadlocks, but crawls at the\nrate floor while the probe "
+              "lasts (rates never reach zero; see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Engine microbenchmarks (google-benchmark): event scheduler, packet pool,
+// rate-limiter math, routing computation, end-to-end simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "core/rate_limiter.hpp"
+#include "net/network.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/routing.hpp"
+
+namespace {
+
+using namespace gfc;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    long sum = 0;
+    for (int i = 0; i < 1000; ++i)
+      sched.schedule_at(sim::us(i), [&sum, i] { sum += i; });
+    sched.run_all();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_PacketPoolCycle(benchmark::State& state) {
+  net::PacketPool pool;
+  for (auto _ : state) {
+    net::Packet* p = pool.acquire();
+    benchmark::DoNotOptimize(p);
+    pool.release(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolCycle);
+
+void BM_RateLimiter(benchmark::State& state) {
+  core::RateLimiter lim(sim::gbps(5));
+  sim::TimePs now = 0;
+  for (auto _ : state) {
+    now = std::max(now, lim.next_allowed());
+    lim.on_transmit(now, 1500);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateLimiter);
+
+void BM_FatTreeRouting(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    topo::Topology t;
+    topo::build_fattree(t, k);
+    auto routing = topo::compute_shortest_paths(t);
+    benchmark::DoNotOptimize(routing);
+  }
+}
+BENCHMARK(BM_FatTreeRouting)->Arg(4)->Arg(8);
+
+void BM_RingSimulationGfc(benchmark::State& state) {
+  // End-to-end: packets simulated per second of wall time.
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    runner::ScenarioConfig cfg;
+    cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                     cfg.switch_buffer, cfg.link.rate,
+                                     cfg.tau());
+    auto s = runner::make_ring(cfg);
+    s.fabric->net().run_until(sim::ms(2));
+    bytes += s.fabric->net().counters().data_bytes_delivered;
+  }
+  state.SetItemsProcessed(bytes / 1500);
+  state.SetLabel("data packets delivered");
+}
+BENCHMARK(BM_RingSimulationGfc);
+
+}  // namespace

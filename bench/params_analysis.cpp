@@ -1,0 +1,78 @@
+// Section 4.2 / 5.4 analysis tables: tau constituents, the parameter
+// bounds for every deployment, stage tables, and the feedback-bandwidth
+// estimates.
+#include "bench_common.hpp"
+
+#include "core/mapping.hpp"
+#include "core/params.hpp"
+
+using namespace gfc;
+using namespace gfc::core;
+
+int main() {
+  bench::header("Parameter analysis", "Secs 4.2, 5.4 (analytic tables)");
+
+  std::printf("\nWorst-case tau (Eq. 6), t_w = 1 us, t_r = 3 us:\n");
+  std::printf("%8s %12s %12s\n", "rate", "CEE (1.5KB)", "IB (4KB)");
+  for (double g : {10.0, 40.0, 100.0}) {
+    const sim::Rate c = sim::gbps(g);
+    std::printf("%6.0fG %10.2fus %10.2fus\n", g,
+                sim::to_us(worst_case_tau({c, 1500, sim::us(1), sim::us(3)})),
+                sim::to_us(worst_case_tau({c, 4096, sim::us(1), sim::us(3)})));
+  }
+  std::printf("(paper: 7.4/5.6/5.2 us CEE; 11.4/6.6/5.6 us IB)\n");
+
+  std::printf("\nBuffer-based GFC: 2*C*tau bound on B_m - B_1 (paper: "
+              "18.5/56/130 KB):\n");
+  for (double g : {10.0, 40.0, 100.0}) {
+    const sim::Rate c = sim::gbps(g);
+    const sim::TimePs tau = worst_case_tau({c, 1500, sim::us(1), sim::us(3)});
+    std::printf("%6.0fG  %8.1f KB\n", g,
+                static_cast<double>(2 * bytes_over(c, tau)) / 1000.0);
+  }
+
+  std::printf("\nTime-based GFC: (sqrt(tau/T)+1)^2*C*T bound on B_m - B_0 "
+              "(paper: 140.8/191.4/271 KB, IB MTU):\n");
+  for (double g : {10.0, 40.0, 100.0}) {
+    const sim::Rate c = sim::gbps(g);
+    const sim::TimePs tau = worst_case_tau({c, 4096, sim::us(1), sim::us(3)});
+    const sim::TimePs period = cbfc_recommended_period(c);
+    std::printf("%6.0fG  %8.1f KB  (T = %.2f us)\n", g,
+                static_cast<double>(1'000'000 -
+                                    b0_bound_timebased(1'000'000, c, tau,
+                                                       period)) /
+                    1000.0,
+                sim::to_us(period));
+  }
+
+  std::printf("\nStage count N at B_1 = B_m - 2*C*tau (paper: 16/18/20):\n");
+  for (double g : {10.0, 40.0, 100.0}) {
+    const sim::Rate c = sim::gbps(g);
+    const sim::TimePs tau = worst_case_tau({c, 1500, sim::us(1), sim::us(3)});
+    const std::int64_t bm = 8 * bytes_over(c, tau);  // roomy buffer
+    MultiStageMapping m(c, b1_bound_buffer(bm, c, tau), bm);
+    std::printf("%6.0fG  N = %d\n", g, m.num_stages());
+  }
+
+  std::printf("\nFeedback bandwidth, m = 64 B (paper: 69 Mb/s worst / 8.6 "
+              "Mb/s steady at 10G):\n");
+  for (double g : {10.0, 40.0, 100.0}) {
+    const sim::Rate c = sim::gbps(g);
+    const sim::TimePs tau = worst_case_tau({c, 1500, sim::us(1), sim::us(3)});
+    std::printf("%6.0fG  worst %7.1f Mb/s (%.3f%%)   steady %6.1f Mb/s "
+                "(%.4f%%)\n",
+                g, worst_case_feedback_bw(64, tau).bps / 1e6,
+                100.0 * worst_case_feedback_bw(64, tau).bps / c.bps,
+                steady_feedback_bw(64, tau).bps / 1e6,
+                100.0 * steady_feedback_bw(64, tau).bps / c.bps);
+  }
+
+  std::printf("\nStage table at 10G, B = 300 KB, B1 = 281 KB (Fig 11 sim "
+              "config):\n%6s %12s %12s\n", "k", "B_k [KB]", "R_k");
+  MultiStageMapping m(sim::gbps(10), 281'000, 300'000);
+  for (int k = 1; k <= m.num_stages(); ++k)
+    std::printf("%6d %12.2f %12s\n", k,
+                static_cast<double>(m.boundary(k)) / 1000.0,
+                sim::format_rate(m.rate_of(k)).c_str());
+  return 0;
+}

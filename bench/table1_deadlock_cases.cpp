@@ -1,0 +1,91 @@
+// Table 1: statistical deadlock-case counts on random-failure fat-trees.
+//
+// Methodology (scaled; see EXPERIMENTS.md): per scale k we sample N random
+// topologies (each switch link down with 5%), pre-filter the CBD-prone
+// ones exactly as the paper does, and then — instead of the paper's 100
+// closed-loop repeats per scenario (10^6 runs per scale, beyond a laptop)
+// — we condition directly on the "specific flow combination that fills up
+// the CBD" with a directed stress probe and report, per mechanism, the
+// number of scenarios that deadlock. Expected shape: identical nonzero
+// counts for PFC and CBFC, decreasing with k; zero for both GFC variants.
+#include "bench_common.hpp"
+
+using namespace gfc;
+using namespace gfc::runner;
+
+namespace {
+
+struct Counts {
+  int sampled = 0;
+  int prone = 0;
+  int covered = 0;
+  int deadlocks[4] = {0, 0, 0, 0};  // PFC, CBFC, GFC-buffer, GFC-time
+};
+
+Counts run_scale(int k, int n_topologies, sim::TimePs duration) {
+  Counts out;
+  const FcKind kinds[4] = {FcKind::kPfc, FcKind::kCbfc, FcKind::kGfcBuffer,
+                           FcKind::kGfcTime};
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n_topologies);
+       ++seed) {
+    ++out.sampled;
+    topo::Topology t;
+    topo::build_fattree(t, k);
+    sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(k));
+    const auto failed = topo::random_failures(t, rng, 0.05);
+    const auto routing = topo::compute_shortest_paths(t);
+    topo::BufferDependencyGraph g(t);
+    g.add_routing_closure(routing);
+    const auto cbd = g.find_cycle();
+    if (!cbd.has_cbd) continue;
+    ++out.prone;
+    const auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
+    if (!stress.covered) continue;
+    ++out.covered;
+    for (int m = 0; m < 4; ++m) {
+      ScenarioConfig cfg;
+      cfg.switch_buffer = 300'000;
+      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
+                               cfg.tau());
+      auto s = make_fattree(cfg, k, failed);
+      net::Network& net = s.fabric->net();
+      for (const auto& f : stress.flows) {
+        net::Flow& flow =
+            net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
+        flow.path_salt = f.salt;
+      }
+      stats::DeadlockDetector det(net, {sim::ms(1), 3, true});
+      net.run_until(duration);
+      if (det.deadlocked()) ++out.deadlocks[m];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Table 1: deadlock cases across network scales", "Table 1");
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  struct Scale {
+    int k;
+    int n;
+    sim::TimePs dur;
+  };
+  const Scale scales[] = {
+      {4, quick ? 40 : 160, sim::ms(12)},
+      {8, quick ? 60 : 400, sim::ms(10)},
+      {16, quick ? 8 : 40, sim::ms(8)},
+  };
+  std::printf("%-7s %9s %6s %8s | %5s %5s %12s %10s\n", "scale", "sampled",
+              "prone", "covered", "PFC", "CBFC", "GFC-buffer", "GFC-time");
+  for (const Scale& s : scales) {
+    const Counts c = run_scale(s.k, s.n, s.dur);
+    std::printf("k = %-3d %9d %6d %8d | %5d %5d %12d %10d\n", s.k, c.sampled,
+                c.prone, c.covered, c.deadlocks[0], c.deadlocks[1],
+                c.deadlocks[2], c.deadlocks[3]);
+  }
+  std::printf("\nPaper shape (Table 1): PFC and CBFC deadlock in the same\n"
+              "scenarios, counts decrease with scale, both GFC variants are 0.\n");
+  return 0;
+}

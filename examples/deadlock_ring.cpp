@@ -1,0 +1,59 @@
+// Watch the deadlock form (or not) in detail: CSV trace of every switch's
+// host-facing queue and the host rates, under a chosen mechanism.
+//
+//   ./build/examples/example_deadlock_ring [pfc|cbfc|gfcb|gfct] > trace.csv
+#include <cstdio>
+#include <cstring>
+
+#include "runner/scenarios.hpp"
+#include "stats/deadlock.hpp"
+#include "stats/probe.hpp"
+
+using namespace gfc;
+
+int main(int argc, char** argv) {
+  runner::FcKind kind = runner::FcKind::kPfc;
+  net::SwitchArch arch = net::SwitchArch::kOutputQueuedFifo;
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "cbfc")) kind = runner::FcKind::kCbfc;
+    if (!std::strcmp(argv[1], "gfcb")) {
+      kind = runner::FcKind::kGfcBuffer;
+      arch = net::SwitchArch::kCioqRoundRobin;
+    }
+    if (!std::strcmp(argv[1], "gfct")) {
+      kind = runner::FcKind::kGfcTime;
+      arch = net::SwitchArch::kCioqRoundRobin;
+    }
+  }
+  runner::ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  cfg.arch = arch;
+  cfg.fc = runner::FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate,
+                                   cfg.tau());
+  runner::RingScenario ring = runner::make_ring(cfg);
+  net::Network& net = ring.fabric->net();
+  stats::DeadlockDetector detector(net);
+
+  std::printf("# mechanism=%s\n", runner::fc_name(kind));
+  std::printf("t_us,q_h0_B,q_h1_B,q_h2_B,rate_h0_gbps,rate_h1_gbps,"
+              "rate_h2_gbps,deadlocked\n");
+  stats::PeriodicProbe probe(net.sched(), sim::us(50), [&](sim::TimePs now) {
+    std::printf("%.1f", sim::to_us(now));
+    for (int i = 0; i < 3; ++i)
+      std::printf(",%lld", static_cast<long long>(ring.fabric->ingress_queue_bytes(
+                               ring.info.switches[static_cast<std::size_t>(i)],
+                               ring.info.hosts[static_cast<std::size_t>(i)])));
+    for (int i = 0; i < 3; ++i)
+      std::printf(",%.3f", ring.fabric
+                               ->egress_rate(ring.info.hosts[static_cast<std::size_t>(i)],
+                                             ring.info.switches[static_cast<std::size_t>(i)])
+                               .gbps());
+    std::printf(",%d\n", detector.deadlocked() ? 1 : 0);
+  });
+  net.run_until(sim::ms(10));
+  std::fprintf(stderr, "deadlocked: %s, violations: %llu\n",
+               detector.deadlocked() ? "YES" : "no",
+               static_cast<unsigned long long>(
+                   net.counters().lossless_violations));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Interactive-ish parameter exploration: give a link rate, buffer size and
+// wire length, get every derived GFC/PFC/CBFC parameter the paper defines.
+//
+//   ./build/examples/example_parameter_explorer [rate_gbps] [buffer_KB] [wire_m]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mapping.hpp"
+#include "core/params.hpp"
+#include "runner/config.hpp"
+
+using namespace gfc;
+
+int main(int argc, char** argv) {
+  const double rate_gbps = argc > 1 ? std::atof(argv[1]) : 10.0;
+  const std::int64_t buffer = (argc > 2 ? std::atoll(argv[2]) : 300) * 1000;
+  const double wire_m = argc > 3 ? std::atof(argv[3]) : 100.0;
+
+  const sim::Rate c = sim::gbps(rate_gbps);
+  // ~2e8 m/s on the wire.
+  const sim::TimePs t_wire = sim::ns(wire_m / 0.2);
+  const core::TauParams tp{c, 1500, t_wire, sim::us(3)};
+  const sim::TimePs tau = core::worst_case_tau(tp);
+
+  std::printf("link: %.0f Gb/s, buffer %lld KB, wire %.0f m\n", rate_gbps,
+              static_cast<long long>(buffer / 1000), wire_m);
+  std::printf("worst-case tau (Eq. 6): %s\n", sim::format_time(tau).c_str());
+  std::printf("  = 2*MTU/C (%s) + 2*t_w (%s) + t_r (3us)\n",
+              sim::format_time(2 * sim::tx_time(c, 1500)).c_str(),
+              sim::format_time(2 * t_wire).c_str());
+
+  std::printf("\nPFC:   XOFF headroom needed >= C*tau = %lld B\n",
+              static_cast<long long>(core::bytes_over(c, tau)));
+  std::printf("CBFC:  recommended period T = %s (65535 B)\n",
+              sim::format_time(core::cbfc_recommended_period(c)).c_str());
+
+  const std::int64_t b1 = core::b1_bound_buffer(buffer, c, tau);
+  std::printf("\nbuffer-based GFC: B1 <= Bm - 2*C*tau = %lld B\n",
+              static_cast<long long>(b1));
+  if (b1 > 0) {
+    core::MultiStageMapping m(c, b1, buffer);
+    std::printf("  N = %d stages; first boundaries/rates:\n", m.num_stages());
+    for (int k = 1; k <= std::min(6, m.num_stages()); ++k)
+      std::printf("    B_%d = %7.1f KB   R_%d = %s\n", k,
+                  static_cast<double>(m.boundary(k)) / 1000.0, k,
+                  sim::format_rate(m.rate_of(k)).c_str());
+  } else {
+    std::printf("  !! buffer too small for this tau (needs > 2*C*tau)\n");
+  }
+
+  const sim::TimePs period = core::cbfc_recommended_period(c);
+  const std::int64_t b0t = core::b0_bound_timebased(buffer, c, tau, period);
+  std::printf("time-based GFC:  B0 <= Bm - (sqrt(tau/T)+1)^2*C*T = %lld B%s\n",
+              static_cast<long long>(b0t),
+              b0t > 0 ? "" : "  !! buffer too small");
+  const std::int64_t b0c = core::b0_bound_conceptual(buffer, c, tau);
+  std::printf("conceptual GFC:  B0 <= Bm - 4*C*tau = %lld B%s\n",
+              static_cast<long long>(b0c),
+              b0c > 0 ? "" : "  !! buffer too small");
+
+  std::printf("\nfeedback bandwidth (m = 64 B): worst %s, steady %s\n",
+              sim::format_rate(core::worst_case_feedback_bw(64, tau)).c_str(),
+              sim::format_rate(core::steady_feedback_bw(64, tau)).c_str());
+  return 0;
+}

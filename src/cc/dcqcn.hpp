@@ -1,0 +1,75 @@
+// DCQCN (Zhu et al., SIGCOMM '15) — the end-to-end congestion control the
+// paper pairs with GFC in its Figure 20 interaction study.
+//
+// Receiver: ECN-marked arrivals trigger at most one CNP per `cnp_interval`
+// per flow. Sender: a CNP multiplicatively cuts the current rate RC and
+// bumps alpha; alpha decays every `alpha_timer` without CNPs; rate recovery
+// runs the standard fast-recovery / additive-increase / hyper-increase
+// ladder driven by a timer and a byte counter.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/network.hpp"
+
+namespace gfc::cc {
+
+struct DcqcnConfig {
+  double alpha_init = 1.0;
+  double g = 1.0 / 256;
+  sim::TimePs cnp_interval = sim::us(50);  // N: receiver-side CNP spacing
+  sim::TimePs alpha_timer = sim::us(55);   // K: alpha decay period
+  sim::TimePs increase_timer = sim::us(55);
+  std::int64_t byte_counter = 10ll * 1024 * 1024;
+  sim::Rate rai = sim::mbps(40);    // additive-increase step
+  sim::Rate rhai = sim::mbps(200);  // hyper-increase step
+  int fast_recovery_threshold = 5;  // F
+  sim::Rate min_rate = sim::kbps(100);
+  std::uint8_t cnp_priority = 6;
+};
+
+class DcqcnModule final : public net::CcModule {
+ public:
+  DcqcnModule(net::Network& net, const DcqcnConfig& cfg)
+      : net_(net), cfg_(cfg) {}
+
+  void on_flow_start(net::Flow& flow) override;
+  void on_data_sent(net::HostNode& tx, net::Flow& flow,
+                    const net::Packet& pkt) override;
+  void on_data_received(net::HostNode& rx, net::Flow& flow,
+                        const net::Packet& pkt) override;
+  void on_cnp(net::HostNode& tx, net::Flow& flow,
+              const net::Packet& pkt) override;
+  const char* name() const override { return "DCQCN"; }
+
+  /// Current DCQCN rate of a flow (Figure 20's "DCQCN rate" curve).
+  sim::Rate current_rate(net::FlowId id) const;
+  std::uint64_t cnps_sent() const { return cnps_sent_; }
+
+ private:
+  struct FlowState {
+    sim::Rate rc{};  // current rate
+    sim::Rate rt{};  // target rate
+    sim::Rate line{};
+    double alpha = 1.0;
+    bool cut_seen = false;  // timers arm after the first CNP
+    int t_stage = 0;
+    int b_stage = 0;
+    std::int64_t bytes = 0;
+    sim::EventId alpha_ev{};
+    sim::EventId inc_ev{};
+  };
+
+  void apply_rate(net::Flow& flow, FlowState& st);
+  void do_increase(net::Flow& flow, FlowState& st);
+  void arm_alpha_timer(net::FlowId id);
+  void arm_increase_timer(net::FlowId id);
+
+  net::Network& net_;
+  DcqcnConfig cfg_;
+  std::unordered_map<net::FlowId, FlowState> state_;
+  std::unordered_map<net::FlowId, sim::TimePs> last_cnp_sent_;
+  std::uint64_t cnps_sent_ = 0;
+};
+
+}  // namespace gfc::cc

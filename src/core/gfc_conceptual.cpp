@@ -1,0 +1,64 @@
+#include "core/gfc_conceptual.hpp"
+
+#include <cstdlib>
+
+namespace gfc::core {
+
+void GfcConceptualModule::on_attach() {
+  const auto n = static_cast<std::size_t>(node().port_count());
+  last_sent_q_.assign(n, {});
+  gates_.assign(n, nullptr);
+  for (int p = 0; p < node().port_count(); ++p) {
+    if (peer_is_switch(p)) {
+      auto gate = std::make_unique<RateGate>(node().port(p));
+      gates_[static_cast<std::size_t>(p)] = gate.get();
+      node().port(p).set_gate(std::move(gate));
+    }
+  }
+}
+
+void GfcConceptualModule::maybe_report(int port, int prio) {
+  flowctl::SwitchNode* sw = as_switch();
+  if (sw == nullptr) return;
+  const std::int64_t q = sw->ingress_bytes(port, prio);
+  auto& last = last_sent_q_[static_cast<std::size_t>(port)]
+                           [static_cast<std::size_t>(prio)];
+  // Only report movement that changes the mapped rate: below B_0 the
+  // mapping is flat at line rate, so be quiet there (and once when
+  // re-entering the flat region so the upstream restores line rate).
+  const bool flat = q <= mapping_.b0() && last <= mapping_.b0();
+  if (flat && last >= 0) return;
+  if (std::llabs(q - last) < min_delta_ && !(q <= mapping_.b0() && last > mapping_.b0()))
+    return;
+  last = q;
+  net::Packet* frame = node().make_control(net::PacketType::kGfcQueue);
+  frame->fc_priority = prio;
+  frame->fc_value = q;
+  node().send_control(port, frame);
+}
+
+void GfcConceptualModule::on_ingress_enqueue(int port, int prio,
+                                             const net::Packet& pkt) {
+  LinkFcBase::on_ingress_enqueue(port, prio, pkt);
+  maybe_report(port, prio);
+}
+
+void GfcConceptualModule::on_ingress_dequeue(int port, int prio,
+                                             const net::Packet&) {
+  maybe_report(port, prio);
+}
+
+void GfcConceptualModule::on_control(int port, const net::Packet& pkt) {
+  if (pkt.type != net::PacketType::kGfcQueue) return;
+  RateGate* gate = gates_[static_cast<std::size_t>(port)];
+  if (gate == nullptr) return;
+  gate->set_rate(pkt.fc_priority, mapping_.rate_for(pkt.fc_value));
+}
+
+sim::Rate GfcConceptualModule::programmed_rate(int port, int prio) const {
+  const RateGate* gate = gates_[static_cast<std::size_t>(port)];
+  if (gate == nullptr) return sim::Rate{0};
+  return gate->rate(prio);
+}
+
+}  // namespace gfc::core

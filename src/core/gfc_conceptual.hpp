@@ -1,0 +1,46 @@
+// Conceptual GFC (Sec. 4.1): continuous feedback, used for the Figure 5
+// study and as the reference the practical designs approximate.
+//
+// Truly continuous feedback is unimplementable (and is exactly why the
+// paper moves to the practical designs); we approximate it by emitting a
+// queue-length sample whenever the occupancy moved by `min_delta_bytes`
+// since the last report. The backward-bandwidth cost this incurs is part
+// of what the Figure 5 bench demonstrates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/rate_limiter.hpp"
+#include "flowctl/flow_control.hpp"
+
+namespace gfc::core {
+
+class GfcConceptualModule final : public flowctl::LinkFcBase {
+ public:
+  GfcConceptualModule(const LinearMapping& mapping,
+                      std::int64_t min_delta_bytes = 512)
+      : mapping_(mapping), min_delta_(min_delta_bytes) {}
+
+  void on_ingress_enqueue(int port, int prio, const net::Packet& pkt) override;
+  void on_ingress_dequeue(int port, int prio, const net::Packet& pkt) override;
+  void on_control(int port, const net::Packet& pkt) override;
+  const char* name() const override { return "GFC-conceptual"; }
+
+  const LinearMapping& mapping() const { return mapping_; }
+  sim::Rate programmed_rate(int port, int prio) const;
+
+ protected:
+  void on_attach() override;
+
+ private:
+  void maybe_report(int port, int prio);
+
+  LinearMapping mapping_;
+  std::int64_t min_delta_;
+  std::vector<std::array<std::int64_t, net::kNumPriorities>> last_sent_q_;
+  std::vector<RateGate*> gates_;
+};
+
+}  // namespace gfc::core

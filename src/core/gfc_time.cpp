@@ -1,0 +1,55 @@
+#include "core/gfc_time.hpp"
+
+#include <cassert>
+
+namespace gfc::core {
+
+void GfcTimeModule::on_attach() {
+  assert(period_ > 0);
+  gates_.assign(static_cast<std::size_t>(node().port_count()), nullptr);
+  for (int p = 0; p < node().port_count(); ++p) {
+    if (peer_is_switch(p)) {
+      auto gate = std::make_unique<RateGate>(node().port(p));
+      gates_[static_cast<std::size_t>(p)] = gate.get();
+      node().port(p).set_gate(std::move(gate));
+    }
+  }
+  if (as_switch() != nullptr) {
+    for (int p = 0; p < node().port_count(); ++p) arm_timer(p);
+  }
+}
+
+void GfcTimeModule::arm_timer(int port) {
+  sched().schedule_in(period_, [this, port] {
+    send_samples(port);
+    arm_timer(port);
+  });
+}
+
+void GfcTimeModule::send_samples(int port) {
+  const std::uint32_t mask = active_prios(port);
+  if (mask == 0) return;
+  flowctl::SwitchNode* sw = as_switch();
+  for (int prio = 0; prio < net::kNumPriorities; ++prio) {
+    if ((mask & (1u << prio)) == 0) continue;
+    net::Packet* frame = node().make_control(net::PacketType::kGfcQueue);
+    frame->fc_priority = prio;
+    frame->fc_value = sw->ingress_bytes(port, prio);
+    node().send_control(port, frame);
+  }
+}
+
+void GfcTimeModule::on_control(int port, const net::Packet& pkt) {
+  if (pkt.type != net::PacketType::kGfcQueue) return;
+  RateGate* gate = gates_[static_cast<std::size_t>(port)];
+  if (gate == nullptr) return;
+  gate->set_rate(pkt.fc_priority, mapping_.rate_for(pkt.fc_value));
+}
+
+sim::Rate GfcTimeModule::programmed_rate(int port, int prio) const {
+  const RateGate* gate = gates_[static_cast<std::size_t>(port)];
+  if (gate == nullptr) return sim::Rate{0};
+  return gate->rate(prio);
+}
+
+}  // namespace gfc::core

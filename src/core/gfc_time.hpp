@@ -1,0 +1,43 @@
+// Time-based GFC (Sec. 5.2): the CBFC-style deployment.
+//
+// Downstream half keeps CBFC's periodic Message Generator: every `period`
+// it reports the ingress queue length (equivalent information to the
+// credit/remaining-buffer field CBFC already carries). Upstream half maps
+// the sample through the conceptual linear function, whose B_0 must respect
+// Theorem 5.1, and programs the Rate Limiter.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/rate_limiter.hpp"
+#include "flowctl/flow_control.hpp"
+
+namespace gfc::core {
+
+class GfcTimeModule final : public flowctl::LinkFcBase {
+ public:
+  GfcTimeModule(const LinearMapping& mapping, sim::TimePs period)
+      : mapping_(mapping), period_(period) {}
+
+  void on_control(int port, const net::Packet& pkt) override;
+  const char* name() const override { return "GFC-time"; }
+
+  const LinearMapping& mapping() const { return mapping_; }
+  sim::TimePs period() const { return period_; }
+  sim::Rate programmed_rate(int port, int prio) const;
+
+ protected:
+  void on_attach() override;
+
+ private:
+  void arm_timer(int port);
+  void send_samples(int port);
+
+  LinearMapping mapping_;
+  sim::TimePs period_;
+  std::vector<RateGate*> gates_;
+};
+
+}  // namespace gfc::core

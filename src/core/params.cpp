@@ -1,0 +1,47 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+namespace gfc::core {
+
+sim::TimePs worst_case_tau(const TauParams& p) {
+  return 2 * sim::tx_time(p.line_rate, p.mtu_bytes) + 2 * p.wire_delay +
+         p.processing_delay;
+}
+
+std::int64_t bytes_over(sim::Rate rate, sim::TimePs dt) {
+  const __int128 num = static_cast<__int128>(rate.bps) * dt;
+  const __int128 den = 8 * static_cast<__int128>(sim::kPsPerSec);
+  return static_cast<std::int64_t>((num + den - 1) / den);
+}
+
+std::int64_t b0_bound_conceptual(std::int64_t bm, sim::Rate c, sim::TimePs tau) {
+  return bm - 4 * bytes_over(c, tau);
+}
+
+std::int64_t b1_bound_buffer(std::int64_t bm, sim::Rate c, sim::TimePs tau) {
+  return bm - 2 * bytes_over(c, tau);
+}
+
+std::int64_t b0_bound_timebased(std::int64_t bm, sim::Rate c, sim::TimePs tau,
+                                sim::TimePs period) {
+  const double ratio = static_cast<double>(tau) / static_cast<double>(period);
+  const double factor = (std::sqrt(ratio) + 1.0) * (std::sqrt(ratio) + 1.0);
+  const double ct = static_cast<double>(bytes_over(c, period));
+  return bm - static_cast<std::int64_t>(std::ceil(factor * ct));
+}
+
+sim::Rate worst_case_feedback_bw(std::int64_t message_bytes, sim::TimePs tau) {
+  const double bits = static_cast<double>(message_bytes) * 8.0;
+  return sim::Rate{static_cast<std::int64_t>(bits / sim::to_seconds(tau))};
+}
+
+sim::Rate steady_feedback_bw(std::int64_t message_bytes, sim::TimePs tau) {
+  return worst_case_feedback_bw(message_bytes, tau) / 8.0;
+}
+
+sim::TimePs cbfc_recommended_period(sim::Rate line_rate) {
+  return sim::tx_time(line_rate, 65535);
+}
+
+}  // namespace gfc::core

@@ -1,0 +1,45 @@
+// Parameter math from the paper: the tau model (Eq. 6), the safety bounds
+// of Theorems 4.1 / 5.1, the buffer-based B_1 constraint, and the
+// feedback-bandwidth estimates of Sec. 4.2.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace gfc::core {
+
+/// Constituents of the worst-case feedback latency tau (Sec. 5.4).
+struct TauParams {
+  sim::Rate line_rate{};
+  std::int64_t mtu_bytes = 1500;
+  sim::TimePs wire_delay = sim::us(1);     // t_w, one direction
+  sim::TimePs processing_delay = sim::us(3);  // t_r upper bound [10]
+};
+
+/// Eq. (6): tau <= 2*MTU/C + 2*t_w + t_r.
+sim::TimePs worst_case_tau(const TauParams& p);
+
+/// Bytes accumulated at `rate` over `dt` (C * tau terms), rounded up.
+std::int64_t bytes_over(sim::Rate rate, sim::TimePs dt);
+
+/// Theorem 4.1: conceptual GFC avoids hold-and-wait iff B_0 <= B_m - 4*C*tau.
+std::int64_t b0_bound_conceptual(std::int64_t bm, sim::Rate c, sim::TimePs tau);
+
+/// Buffer-based GFC: B_1 <= B_m - 2*C*tau (Sec. 4.2 / 5.4).
+std::int64_t b1_bound_buffer(std::int64_t bm, sim::Rate c, sim::TimePs tau);
+
+/// Theorem 5.1: time-based GFC avoids hold-and-wait iff
+/// B_0 <= B_m - (sqrt(tau/T) + 1)^2 * C * T.
+std::int64_t b0_bound_timebased(std::int64_t bm, sim::Rate c, sim::TimePs tau,
+                                sim::TimePs period);
+
+/// Sec. 4.2 occupied-bandwidth analysis for buffer-based GFC: worst case one
+/// message per tau; steady state one per 8*tau.
+sim::Rate worst_case_feedback_bw(std::int64_t message_bytes, sim::TimePs tau);
+sim::Rate steady_feedback_bw(std::int64_t message_bytes, sim::TimePs tau);
+
+/// CBFC-recommended feedback period: time to transmit 65535 B (Sec. 5.4).
+sim::TimePs cbfc_recommended_period(sim::Rate line_rate);
+
+}  // namespace gfc::core

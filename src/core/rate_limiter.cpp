@@ -1,0 +1,3 @@
+#include "core/rate_limiter.hpp"
+
+// Header-only today; this TU pins the library target.

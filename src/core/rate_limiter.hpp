@@ -1,0 +1,84 @@
+// The paper's per-queue Rate Limiter (Sec. 5.3) and the egress-port gate
+// that GFC variants install upstream.
+//
+// Register semantics from the paper: after a packet whose transmission took
+// R_I = L/C, the countdown R_c = (C - R_r)/R_r * R_I must elapse before the
+// next packet — i.e. packet *starts* are spaced L/R_r apart. We keep the
+// start timestamp and evaluate the spacing against the *current* rate, so a
+// rate increase takes effect immediately instead of waiting out a stale
+// countdown.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "net/port.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::core {
+
+class RateLimiter {
+ public:
+  RateLimiter() = default;
+  explicit RateLimiter(sim::Rate initial_rate) : rate_(initial_rate) {}
+
+  void set_rate(sim::Rate r) { rate_ = r; }
+  sim::Rate rate() const { return rate_; }
+
+  /// Earliest instant the next packet may start.
+  sim::TimePs next_allowed() const {
+    if (last_bytes_ == 0) return 0;
+    if (rate_.is_zero()) return sim::kTimeNever;
+    return last_start_ + sim::tx_time(rate_, last_bytes_);
+  }
+
+  bool allowed(sim::TimePs now) const { return now >= next_allowed(); }
+
+  /// A packet of `bytes` started transmission at `now`.
+  void on_transmit(sim::TimePs now, std::int64_t bytes) {
+    last_start_ = now;
+    last_bytes_ = bytes;
+  }
+
+ private:
+  sim::Rate rate_{};
+  sim::TimePs last_start_ = 0;
+  std::int64_t last_bytes_ = 0;  // 0 until the first packet
+};
+
+/// TxGate with one RateLimiter per priority; all GFC variants share it.
+class RateGate final : public net::TxGate {
+ public:
+  explicit RateGate(net::EgressPort& port) : port_(&port) {
+    for (auto& lim : limiters_) lim.set_rate(port.line_rate());
+  }
+
+  bool allowed(const net::Packet& pkt, sim::TimePs now,
+               sim::TimePs* wake_at) override {
+    const RateLimiter& lim = limiters_[pkt.priority];
+    if (lim.allowed(now)) return true;
+    const sim::TimePs t = lim.next_allowed();
+    if (t < *wake_at) *wake_at = t;
+    return false;
+  }
+
+  void on_transmit(const net::Packet& pkt, sim::TimePs now) override {
+    limiters_[pkt.priority].on_transmit(now, pkt.size_bytes);
+  }
+
+  /// Rate Adjuster entry point: update the assigned rate and re-evaluate.
+  void set_rate(int prio, sim::Rate r) {
+    limiters_[static_cast<std::size_t>(prio)].set_rate(r);
+    port_->kick();
+  }
+
+  sim::Rate rate(int prio) const {
+    return limiters_[static_cast<std::size_t>(prio)].rate();
+  }
+
+ private:
+  net::EgressPort* port_;
+  std::array<RateLimiter, net::kNumPriorities> limiters_;
+};
+
+}  // namespace gfc::core

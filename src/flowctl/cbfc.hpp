@@ -1,0 +1,83 @@
+// Credit-Based Flow Control (InfiniBand-style), the time-based baseline.
+//
+// Downstream half: per (port, priority) it tracks cumulative forwarded
+// 64-byte blocks and periodically (every `period`) advertises
+// FCCL = forwarded_blocks + buffer_blocks.
+// Upstream half: per priority it tracks FCTBS (blocks sent) and may start a
+// packet only while FCTBS + packet_blocks <= FCCL — running out of credits
+// is exactly the paper's hold-and-wait state.
+#pragma once
+
+#include <memory>
+
+#include "flowctl/flow_control.hpp"
+
+namespace gfc::flowctl {
+
+struct CbfcConfig {
+  sim::TimePs period = 0;           // feedback period T
+  std::int64_t buffer_bytes = 0;    // advertised per (port, prio) credit pool
+  std::int64_t block_bytes = 64;    // IB credit granularity
+
+  std::int64_t buffer_blocks() const { return buffer_bytes / block_bytes; }
+  std::int64_t blocks_for(std::int64_t bytes) const {
+    return (bytes + block_bytes - 1) / block_bytes;
+  }
+};
+
+class CbfcModule final : public LinkFcBase {
+ public:
+  explicit CbfcModule(const CbfcConfig& cfg) : cfg_(cfg) {}
+
+  void on_ingress_dequeue(int port, int prio, const Packet& pkt) override;
+  void on_control(int port, const Packet& pkt) override;
+  const char* name() const override { return "CBFC"; }
+
+  const CbfcConfig& config() const { return cfg_; }
+
+  /// Upstream view: available credit blocks on (port, prio); for tests and
+  /// the deadlock wait-for graph. Ports without a credit gate report a huge
+  /// value.
+  std::int64_t available_credits(int port, int prio) const;
+
+ protected:
+  void on_attach() override;
+
+ private:
+  class CreditGate final : public net::TxGate {
+   public:
+    explicit CreditGate(const CbfcConfig& cfg) : cfg_(cfg) {
+      fccl_.fill(cfg.buffer_blocks());  // initial advertisement at link init
+    }
+    bool allowed(const Packet& pkt, sim::TimePs, sim::TimePs*) override {
+      const auto p = static_cast<std::size_t>(pkt.priority);
+      return fctbs_[p] + cfg_.blocks_for(pkt.size_bytes) <= fccl_[p];
+    }
+    void on_transmit(const Packet& pkt, sim::TimePs) override {
+      fctbs_[pkt.priority] += cfg_.blocks_for(pkt.size_bytes);
+    }
+    void update_fccl(int prio, std::int64_t fccl) {
+      auto& cur = fccl_[static_cast<std::size_t>(prio)];
+      if (fccl > cur) cur = fccl;  // FCCL is cumulative, never regresses
+    }
+    std::int64_t credits(int prio) const {
+      const auto p = static_cast<std::size_t>(prio);
+      return fccl_[p] - fctbs_[p];
+    }
+
+   private:
+    const CbfcConfig cfg_;
+    std::array<std::int64_t, kNumPriorities> fccl_{};
+    std::array<std::int64_t, kNumPriorities> fctbs_{};
+  };
+
+  void send_credits(int port);
+  void arm_timer(int port);
+
+  CbfcConfig cfg_;
+  /// Downstream: cumulative forwarded blocks per (port, prio).
+  std::vector<std::array<std::int64_t, kNumPriorities>> fwd_blocks_;
+  std::vector<CreditGate*> gates_;  // null on ports facing hosts
+};
+
+}  // namespace gfc::flowctl

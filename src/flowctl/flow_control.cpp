@@ -1,0 +1,22 @@
+#include "flowctl/flow_control.hpp"
+
+namespace gfc::flowctl {
+
+void LinkFcBase::attach(Node& node) {
+  node_ = &node;
+  sw_ = dynamic_cast<SwitchNode*>(&node);
+  active_prios_.assign(static_cast<std::size_t>(node.port_count()), 0);
+  on_attach();
+}
+
+void LinkFcBase::on_ingress_enqueue(int port, int prio, const Packet&) {
+  active_prios_[static_cast<std::size_t>(port)] |= 1u << prio;
+}
+
+bool LinkFcBase::peer_is_switch(int port) const {
+  const auto peer = node_->peer(port);
+  if (peer.node == net::kInvalidNode) return false;
+  return node_->network().node(peer.node).is_switch();
+}
+
+}  // namespace gfc::flowctl

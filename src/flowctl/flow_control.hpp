@@ -1,0 +1,59 @@
+// Shared scaffolding for hop-by-hop flow-control mechanisms.
+//
+// Terminology follows the paper: the *downstream* half watches a node's
+// ingress occupancy and generates feedback; the *upstream* half gates the
+// peer's egress port. One module instance per node implements both halves
+// for all of that node's ports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace gfc::flowctl {
+
+using net::FcModule;
+using net::kNumPriorities;
+using net::Node;
+using net::Packet;
+using net::PacketType;
+using net::SwitchNode;
+
+/// Common base: node binding, peer inspection, per-port priority-activity
+/// tracking (periodic mechanisms only emit feedback for priorities that
+/// have carried traffic).
+class LinkFcBase : public FcModule {
+ public:
+  void attach(Node& node) override;
+
+  void on_ingress_enqueue(int port, int prio, const Packet& pkt) override;
+  void on_ingress_dequeue(int, int, const Packet&) override {}
+  void on_control(int, const Packet&) override {}
+
+ protected:
+  /// Hook for subclasses: called once from attach() after node_ is bound.
+  virtual void on_attach() = 0;
+
+  Node& node() { return *node_; }
+  net::Network& network() { return node_->network(); }
+  sim::Scheduler& sched() { return node_->network().sched(); }
+
+  /// The node as a switch, or nullptr when attached to a host.
+  SwitchNode* as_switch() { return sw_; }
+
+  bool peer_is_switch(int port) const;
+
+  /// Bitmask of priorities that have had ingress traffic on `port`.
+  std::uint32_t active_prios(int port) const {
+    return active_prios_[static_cast<std::size_t>(port)];
+  }
+
+ private:
+  Node* node_ = nullptr;
+  SwitchNode* sw_ = nullptr;
+  std::vector<std::uint32_t> active_prios_;
+};
+
+}  // namespace gfc::flowctl

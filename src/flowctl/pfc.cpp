@@ -1,0 +1,53 @@
+#include "flowctl/pfc.hpp"
+
+#include <cassert>
+
+namespace gfc::flowctl {
+
+void PfcModule::on_attach() {
+  assert(cfg_.xon_bytes < cfg_.xoff_bytes && cfg_.xon_bytes >= 0);
+  const auto n = static_cast<std::size_t>(node().port_count());
+  pause_sent_.assign(n, {});
+  gates_.assign(n, nullptr);
+  for (int p = 0; p < node().port_count(); ++p) {
+    auto gate = std::make_unique<PauseGate>();
+    gates_[static_cast<std::size_t>(p)] = gate.get();
+    node().port(p).set_gate(std::move(gate));
+  }
+}
+
+void PfcModule::send_pause_state(int port, int prio, bool pause) {
+  Packet* frame = node().make_control(pause ? PacketType::kPfcPause
+                                            : PacketType::kPfcResume);
+  frame->fc_priority = prio;
+  node().send_control(port, frame);
+  pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] = pause;
+}
+
+void PfcModule::on_ingress_enqueue(int port, int prio, const Packet& pkt) {
+  LinkFcBase::on_ingress_enqueue(port, prio, pkt);
+  SwitchNode* sw = as_switch();
+  if (sw == nullptr) return;
+  if (!pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] &&
+      sw->ingress_bytes(port, prio) >= cfg_.xoff_bytes) {
+    send_pause_state(port, prio, /*pause=*/true);
+  }
+}
+
+void PfcModule::on_ingress_dequeue(int port, int prio, const Packet&) {
+  SwitchNode* sw = as_switch();
+  if (sw == nullptr) return;
+  if (pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] &&
+      sw->ingress_bytes(port, prio) <= cfg_.xon_bytes) {
+    send_pause_state(port, prio, /*pause=*/false);
+  }
+}
+
+void PfcModule::on_control(int port, const Packet& pkt) {
+  if (pkt.type != PacketType::kPfcPause && pkt.type != PacketType::kPfcResume) return;
+  PauseGate* gate = gates_[static_cast<std::size_t>(port)];
+  gate->set_paused(pkt.fc_priority, pkt.type == PacketType::kPfcPause);
+  node().port(port).kick();
+}
+
+}  // namespace gfc::flowctl

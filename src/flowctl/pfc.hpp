@@ -1,0 +1,69 @@
+// Priority Flow Control (IEEE 802.1Qbb), the CEE baseline.
+//
+// Downstream half: when the (ingress port, priority) occupancy reaches XOFF
+// a PAUSE frame is sent upstream; when it drains to XON a RESUME follows.
+// Upstream half: a paused priority cannot start new data transmissions.
+// The buffer above XOFF is the headroom that absorbs in-flight packets; it
+// must cover C * tau or the lossless-violation counter will fire.
+#pragma once
+
+#include <memory>
+
+#include "flowctl/flow_control.hpp"
+
+namespace gfc::flowctl {
+
+struct PfcConfig {
+  std::int64_t xoff_bytes = 0;
+  std::int64_t xon_bytes = 0;  // must be < xoff_bytes
+
+  /// Recommended XON gap of 2 MTU below XOFF (paper Sec 4.1 / [59]).
+  static PfcConfig for_buffer(std::int64_t xoff, std::int64_t mtu = 1500) {
+    return PfcConfig{xoff, xoff - 2 * mtu};
+  }
+};
+
+class PfcModule final : public LinkFcBase {
+ public:
+  explicit PfcModule(const PfcConfig& cfg) : cfg_(cfg) {}
+
+  void on_ingress_enqueue(int port, int prio, const Packet& pkt) override;
+  void on_ingress_dequeue(int port, int prio, const Packet& pkt) override;
+  void on_control(int port, const Packet& pkt) override;
+  const char* name() const override { return "PFC"; }
+
+  const PfcConfig& config() const { return cfg_; }
+  /// Downstream view: is this (port, prio) currently holding the upstream
+  /// paused? (exposed for tests and the deadlock wait-for graph)
+  bool pause_sent(int port, int prio) const {
+    return pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)];
+  }
+
+ protected:
+  void on_attach() override;
+
+ private:
+  /// Upstream-side gate: blocks paused priorities.
+  class PauseGate final : public net::TxGate {
+   public:
+    bool allowed(const Packet& pkt, sim::TimePs, sim::TimePs*) override {
+      return !paused_[pkt.priority];
+    }
+    void on_transmit(const Packet&, sim::TimePs) override {}
+    void set_paused(int prio, bool paused) {
+      paused_[static_cast<std::size_t>(prio)] = paused;
+    }
+    bool paused(int prio) const { return paused_[static_cast<std::size_t>(prio)]; }
+
+   private:
+    std::array<bool, kNumPriorities> paused_{};
+  };
+
+  void send_pause_state(int port, int prio, bool pause);
+
+  PfcConfig cfg_;
+  std::vector<std::array<bool, kNumPriorities>> pause_sent_;
+  std::vector<PauseGate*> gates_;  // owned by the egress ports
+};
+
+}  // namespace gfc::flowctl

@@ -1,0 +1,16 @@
+#include "net/channel.hpp"
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace gfc::net {
+
+Channel::Channel(Network& net, Node& dst, int dst_port, sim::TimePs prop_delay)
+    : net_(net), dst_(dst), dst_port_(dst_port), prop_delay_(prop_delay) {}
+
+void Channel::deliver(Packet* pkt) {
+  net_.sched().schedule_in(prop_delay_,
+                           [this, pkt] { dst_.receive(pkt, dst_port_); });
+}
+
+}  // namespace gfc::net

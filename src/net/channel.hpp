@@ -1,0 +1,32 @@
+// Unidirectional wire: fixed propagation delay to a (node, port) endpoint.
+// Serialization happens at the egress port; the channel only delays
+// delivery, so any number of packets may be "on the wire" at once.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::net {
+
+class Node;
+class Network;
+
+class Channel {
+ public:
+  Channel(Network& net, Node& dst, int dst_port, sim::TimePs prop_delay);
+
+  /// Hand over a fully transmitted packet; it arrives after prop_delay.
+  void deliver(Packet* pkt);
+
+  sim::TimePs prop_delay() const { return prop_delay_; }
+  Node& dst() { return dst_; }
+  int dst_port() const { return dst_port_; }
+
+ private:
+  Network& net_;
+  Node& dst_;
+  int dst_port_;
+  sim::TimePs prop_delay_;
+};
+
+}  // namespace gfc::net

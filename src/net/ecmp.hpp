@@ -1,0 +1,23 @@
+// ECMP next-hop selection hash, shared by the switch data path and the
+// offline CBD analyzer so both see identical paths for a given flow salt.
+#pragma once
+
+#include <cstdint>
+
+namespace gfc::net {
+
+inline std::uint64_t ecmp_hash(std::uint64_t salt, std::int32_t switch_id) {
+  std::uint64_t h = salt;
+  h ^= static_cast<std::uint64_t>(switch_id) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+inline std::size_t ecmp_select(std::uint64_t salt, std::int32_t switch_id,
+                               std::size_t n_choices) {
+  return static_cast<std::size_t>(ecmp_hash(salt, switch_id) % n_choices);
+}
+
+}  // namespace gfc::net

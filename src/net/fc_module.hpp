@@ -1,0 +1,64 @@
+// Interfaces connecting the network substrate to pluggable flow-control
+// (PFC / CBFC / GFC variants) and congestion-control (DCQCN) mechanisms.
+//
+// A flow-control mechanism has two halves, mirroring the paper:
+//   * downstream half ("Message Generator"): watches ingress occupancy of a
+//     node's ports and emits control frames upstream;
+//   * upstream half ("Rate Adjuster" + "Rate Limiter"): reacts to control
+//     frames by gating the matching egress port.
+// One FcModule instance is attached per node and implements both halves for
+// that node's ports.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::net {
+
+class Node;
+class HostNode;
+struct Flow;
+
+class FcModule {
+ public:
+  virtual ~FcModule() = default;
+
+  /// Install egress gates / timers on the node. Called once after all the
+  /// node's links are connected.
+  virtual void attach(Node& node) = 0;
+
+  /// Downstream half: a data packet was charged to (`port`, `prio`) ingress
+  /// accounting (switches only).
+  virtual void on_ingress_enqueue(int port, int prio, const Packet& pkt) = 0;
+
+  /// Downstream half: a data packet departed and was released from
+  /// (`port`, `prio`) ingress accounting.
+  virtual void on_ingress_dequeue(int port, int prio, const Packet& pkt) = 0;
+
+  /// Upstream half: a link-control frame arrived on `port`.
+  virtual void on_control(int port, const Packet& pkt) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  FcModule() = default;
+};
+
+/// End-to-end congestion control (one instance per network; per-flow state
+/// lives inside the module).
+class CcModule {
+ public:
+  virtual ~CcModule() = default;
+
+  virtual void on_flow_start(Flow&) {}
+  /// Sender-side hook: a data packet of `flow` left the source NIC.
+  virtual void on_data_sent(HostNode&, Flow&, const Packet&) {}
+  /// Receiver-side hook: a data packet of `flow` arrived at host `rx`.
+  virtual void on_data_received(HostNode&, Flow&, const Packet&) {}
+  /// Sender-side hook: a CNP for `flow` arrived back at the source.
+  virtual void on_cnp(HostNode&, Flow&, const Packet&) {}
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace gfc::net

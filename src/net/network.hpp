@@ -1,0 +1,118 @@
+// Network: owner of the scheduler, packet pool, nodes, channels, flows and
+// the pluggable congestion-control module. The single place experiments
+// talk to.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/fc_module.hpp"
+#include "net/flow.hpp"
+#include "net/host.hpp"
+#include "net/node.hpp"
+#include "net/switch.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace gfc::net {
+
+/// Receives every data-packet delivery at any host (throughput samplers).
+class DeliveryListener {
+ public:
+  virtual ~DeliveryListener() = default;
+  virtual void on_delivery(const Packet& pkt, sim::TimePs now) = 0;
+};
+
+struct Counters {
+  std::uint64_t lossless_violations = 0;  // ingress buffer exceeded capacity
+  std::uint64_t route_drops = 0;          // unroutable packets (config bug)
+  std::uint64_t data_packets_delivered = 0;
+  std::int64_t data_bytes_delivered = 0;
+  std::uint64_t control_frames_sent = 0;
+  std::uint64_t flows_completed = 0;
+};
+
+class Network {
+ public:
+  Network();
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  PacketPool& pool() { return pool_; }
+  sim::Rng& rng() { return rng_; }
+  void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
+  // --- construction -------------------------------------------------------
+  SwitchNode& add_switch(std::string name, std::int64_t ingress_buffer_bytes);
+  HostNode& add_host(std::string name);
+
+  /// Wire a full-duplex link: creates one port on each node and a channel
+  /// in each direction. Returns {port index on a, port index on b}.
+  std::pair<int, int> connect(NodeId a, NodeId b, sim::Rate rate,
+                              sim::TimePs prop_delay);
+
+  Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(NodeId id) const { return *nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  HostNode* host(NodeId id);
+  SwitchNode* sw(NodeId id);
+
+  // --- flows ---------------------------------------------------------------
+  /// Register a flow; it starts automatically at `start_time`.
+  Flow& create_flow(NodeId src, NodeId dst, std::uint8_t priority,
+                    std::int64_t size_bytes, sim::TimePs start_time);
+  Flow& flow(FlowId id) { return flows_[static_cast<std::size_t>(id)]; }
+  const Flow& flow(FlowId id) const { return flows_[static_cast<std::size_t>(id)]; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  // --- modules -------------------------------------------------------------
+  void set_cc(std::unique_ptr<CcModule> cc) { cc_ = std::move(cc); }
+  CcModule* cc() { return cc_.get(); }
+
+  /// Feedback processing latency t_r applied to every link-control frame on
+  /// receipt (also absorbs testbed-style software padding of tau).
+  void set_control_delay(sim::TimePs d) { control_delay_ = d; }
+  sim::TimePs control_delay() const { return control_delay_; }
+
+  // --- observation ----------------------------------------------------------
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  void add_delivery_listener(DeliveryListener* l) { delivery_listeners_.push_back(l); }
+  void add_completion_listener(std::function<void(Flow&)> fn) {
+    completion_listeners_.push_back(std::move(fn));
+  }
+
+  void notify_delivery(const Packet& pkt);
+  void notify_completion(Flow& flow);
+
+  void free_packet(Packet* pkt) { pool_.release(pkt); }
+
+  /// Advance the simulation.
+  void run_until(sim::TimePs t) { sched_.run_until(t); }
+
+ private:
+  template <typename NodeT, typename... Args>
+  NodeT& emplace_node(Args&&... args);
+
+  sim::Scheduler sched_;
+  PacketPool pool_;
+  sim::Rng rng_{0x9FC0DE5EEDull};
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::deque<Flow> flows_;  // deque: stable Flow& across mid-run create_flow
+  std::unique_ptr<CcModule> cc_;
+  sim::TimePs control_delay_ = 0;
+  Counters counters_;
+  std::vector<DeliveryListener*> delivery_listeners_;
+  std::vector<std::function<void(Flow&)>> completion_listeners_;
+};
+
+}  // namespace gfc::net

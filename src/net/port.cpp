@@ -1,0 +1,179 @@
+#include "net/port.hpp"
+
+#include <cassert>
+
+#include "net/channel.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace gfc::net {
+
+EgressPort::EgressPort(Node& owner, int index, sim::Rate line_rate)
+    : owner_(owner),
+      index_(index),
+      rate_(line_rate),
+      gate_(std::make_unique<OpenGate>()) {}
+
+sim::Scheduler& EgressPort::sched() { return owner_.network().sched(); }
+
+std::int64_t EgressPort::queued_bytes_total() const {
+  std::int64_t sum = 0;
+  for (const auto& pq : data_) sum += pq.bytes;
+  return sum;
+}
+
+std::size_t EgressPort::queued_packets() const {
+  std::size_t n = control_q_.size();
+  for (const auto& pq : data_) n += pq.packets;
+  return n;
+}
+
+Packet* EgressPort::PrioQueue::next_up(std::size_t* bucket_out) {
+  if (packets == 0) return nullptr;
+  for (std::size_t step = 0; step < buckets.size(); ++step) {
+    const std::size_t b = (rr + step) % buckets.size();
+    if (!buckets[b].q.empty()) {
+      *bucket_out = b;
+      return buckets[b].q.front();
+    }
+  }
+  return nullptr;
+}
+
+void EgressPort::set_gate(std::unique_ptr<TxGate> gate) {
+  assert(gate != nullptr);
+  gate_ = std::move(gate);
+}
+
+void EgressPort::enqueue(Packet* pkt) {
+  assert(!pkt->is_control());
+  auto& pq = data_[static_cast<std::size_t>(pkt->priority)];
+  Bucket* bucket = nullptr;
+  for (auto& b : pq.buckets)
+    if (b.key == pkt->ingress_port) bucket = &b;
+  if (bucket == nullptr) {
+    pq.buckets.push_back(Bucket{pkt->ingress_port, {}});
+    bucket = &pq.buckets.back();
+  }
+  bucket->q.push_back(pkt);
+  pq.bytes += pkt->size_bytes;
+  ++pq.packets;
+  try_transmit();
+}
+
+void EgressPort::enqueue_control(Packet* pkt) {
+  assert(pkt->is_control());
+  control_q_.push_back(pkt);
+  try_transmit();
+}
+
+void EgressPort::kick() { try_transmit(); }
+
+void EgressPort::try_transmit() {
+  if (in_flight_ != nullptr) return;
+  // A pending wake timer is now redundant: either we start transmitting, or
+  // we recompute the earliest wake below.
+  if (wake_event_.valid()) {
+    sched().cancel(wake_event_);
+    wake_event_ = {};
+  }
+
+  // Control frames bypass data queues and all gating.
+  if (!control_q_.empty()) {
+    Packet* pkt = control_q_.front();
+    control_q_.pop_front();
+    start_tx(pkt, /*control=*/true);
+    return;
+  }
+
+  const sim::TimePs now = sched().now();
+  sim::TimePs wake_at = sim::kTimeNever;
+
+  if (owner_.pull_mode()) {
+    bool any_waiting = false;
+    Packet* pkt = owner_.poll_data(index_, now, &wake_at, /*consume=*/true,
+                                   &any_waiting);
+    if (pkt != nullptr) {
+      start_tx(pkt, /*control=*/false);
+    } else if (wake_at != sim::kTimeNever) {
+      wake_event_ = sched().schedule_at(wake_at, [this] {
+        wake_event_ = {};
+        try_transmit();
+      });
+    }
+    return;
+  }
+
+  // Queue mode (hosts): round-robin over priorities (no head-of-line
+  // blocking across classes), then over source buckets within the priority.
+  for (int step = 0; step < kNumPriorities; ++step) {
+    const int prio = (rr_prio_ + step) % kNumPriorities;
+    auto& pq = data_[static_cast<std::size_t>(prio)];
+    std::size_t bucket = 0;
+    Packet* pkt = pq.next_up(&bucket);
+    if (pkt == nullptr) continue;
+    if (gate_->allowed(*pkt, now, &wake_at)) {
+      pq.buckets[bucket].q.pop_front();
+      pq.bytes -= pkt->size_bytes;
+      --pq.packets;
+      pq.rr = (bucket + 1) % pq.buckets.size();
+      rr_prio_ = (prio + 1) % kNumPriorities;
+      start_tx(pkt, /*control=*/false);
+      return;
+    }
+  }
+
+  if (wake_at != sim::kTimeNever) {
+    assert(wake_at >= now);
+    wake_event_ = sched().schedule_at(wake_at, [this] {
+      wake_event_ = {};
+      try_transmit();
+    });
+  }
+}
+
+bool EgressPort::probe_hold_and_wait(sim::TimePs now) {
+  if (in_flight_ != nullptr || !control_q_.empty()) return false;
+  sim::TimePs wake_at = sim::kTimeNever;
+  if (owner_.pull_mode()) {
+    bool any_waiting = false;
+    Packet* pkt = owner_.poll_data(index_, now, &wake_at, /*consume=*/false,
+                                   &any_waiting);
+    return pkt == nullptr && any_waiting && wake_at == sim::kTimeNever;
+  }
+  bool has_data = false;
+  for (auto& pq : data_) {
+    std::size_t bucket = 0;
+    Packet* pkt = pq.next_up(&bucket);
+    if (pkt == nullptr) continue;
+    has_data = true;
+    if (gate_->allowed(*pkt, now, &wake_at)) return false;
+  }
+  return has_data && wake_at == sim::kTimeNever;
+}
+
+void EgressPort::start_tx(Packet* pkt, bool control) {
+  assert(channel_ != nullptr && "port must be connected");
+  in_flight_ = pkt;
+  in_flight_control_ = control;
+  if (!control) gate_->on_transmit(*pkt, sched().now());
+  const sim::TimePs t = sim::tx_time(rate_, pkt->size_bytes);
+  sched().schedule_in(t, [this] { complete_tx(); });
+}
+
+void EgressPort::complete_tx() {
+  Packet* pkt = in_flight_;
+  in_flight_ = nullptr;
+  if (in_flight_control_) {
+    tx_control_bytes_ += static_cast<std::uint64_t>(pkt->size_bytes);
+    ++tx_control_frames_;
+  } else {
+    tx_data_bytes_ += static_cast<std::uint64_t>(pkt->size_bytes);
+    // Release ingress accounting / notify sender pacing before hand-off.
+    owner_.on_departure(*pkt, index_);
+  }
+  channel_->deliver(pkt);
+  try_transmit();
+}
+
+}  // namespace gfc::net

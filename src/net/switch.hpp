@@ -1,0 +1,129 @@
+// Switch model with per-(ingress port, priority) buffer accounting and a
+// configurable queueing discipline:
+//
+// * kOutputQueuedFifo (default): one unbounded FIFO per (egress,
+//   priority), admission in arrival order — the classic OMNET++/ns-3
+//   switch model the paper's simulator corresponds to. A contended egress
+//   splits bandwidth proportionally to arrival rate, so transient
+//   overloads push ingress accounting to XOFF and pauses propagate: this
+//   is the model that reproduces the paper's PFC/CBFC deadlocks.
+// * kCioqRoundRobin: CIOQ — one FIFO per (ingress, priority) feeding a
+//   *bounded* FIFO per (egress, priority), with per-egress round-robin
+//   arbitration across ingress ports (a crossbar / DPDK-RX-polling
+//   fabric). Gives per-source-fair shares; reproduces the paper's GFC
+//   steady-state numbers exactly. Under fair arbitration a *static*
+//   symmetric ring reaches a stable equilibrium instead of deadlocking —
+//   an ablation finding this library documents (bench/ablation_arbitration).
+// * kInputQueued: no output stage; egress ports pull competing input-queue
+//   heads directly (pure VOQ-less input queueing). Ablation only.
+//
+// Either way a packet is charged to the (ingress port, priority) it arrived
+// on until it finishes transmitting on its egress, which is what the
+// PFC/CBFC/GFC downstream halves watch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace gfc::net {
+
+/// ECN marking config (RED-style on ingress occupancy; kmin == kmax &&
+/// pmax == 1 gives the simple threshold marking used in the paper's DCQCN
+/// study).
+struct EcnConfig {
+  bool enabled = false;
+  std::int64_t kmin = 0;
+  std::int64_t kmax = 0;
+  double pmax = 1.0;
+};
+
+enum class SwitchArch {
+  kOutputQueuedFifo,  // arrival-order shared egress FIFOs (default)
+  kCioqRoundRobin,    // fair crossbar: input FIFOs + bounded egress FIFOs
+  kInputQueued,       // pure input queueing (ablation)
+};
+
+class SwitchNode final : public Node {
+ public:
+  SwitchNode(Network& net, NodeId id, std::string name,
+             std::int64_t ingress_buffer_bytes);
+
+  void set_arch(SwitchArch a) { arch_ = a; }
+  SwitchArch arch() const { return arch_; }
+
+  /// CIOQ egress output-queue byte cap per (egress, priority).
+  void set_egress_queue_cap(std::int64_t cap) { egress_cap_ = cap; }
+  std::int64_t egress_queue_cap() const { return egress_cap_; }
+
+  bool is_switch() const override { return true; }
+  void receive(Packet* pkt, int in_port) override;
+  void on_departure(Packet& pkt, int out_port) override;
+  Packet* poll_data(int egress_port, sim::TimePs now, sim::TimePs* wake_at,
+                    bool consume, bool* any_waiting) override;
+
+  // --- forwarding ---------------------------------------------------------
+  /// Equal-cost candidate out-ports toward destination host `dst`.
+  void set_route(NodeId dst, std::vector<std::int32_t> out_ports);
+  void clear_routes();
+  /// Selected out-port for this packet (-1 if unroutable). ECMP choice is
+  /// a deterministic hash of the flow's path salt.
+  int route_for(const Packet& pkt) const;
+
+  // --- buffers ------------------------------------------------------------
+  std::int64_t ingress_buffer_bytes() const { return buffer_; }
+  /// Occupancy charged to (port, prio): queued + being transmitted.
+  std::int64_t ingress_bytes(int port, int prio) const {
+    return ingress_bytes_[static_cast<std::size_t>(port)]
+                         [static_cast<std::size_t>(prio)];
+  }
+  std::int64_t ingress_bytes_total(int port) const;
+
+  /// Egress ports targeted by the current heads of ingress queue
+  /// `in_port` (one per active priority) — deadlock wait-for edges.
+  void head_targets(int in_port, std::vector<int>* out) const;
+
+  void set_ecn(const EcnConfig& cfg) { ecn_ = cfg; }
+  const EcnConfig& ecn() const { return ecn_; }
+
+  std::uint64_t forwarded_packets() const { return forwarded_packets_; }
+
+ private:
+  void account_enqueue(Packet& pkt, int in_port);
+  void maybe_mark_ecn(Packet& pkt, int in_port);
+  void ensure_tables();
+
+  std::int64_t buffer_;
+  EcnConfig ecn_;
+  std::vector<std::array<std::int64_t, kNumPriorities>> ingress_bytes_;
+  /// Input FIFOs per (ingress port, priority).
+  std::vector<std::array<std::deque<Packet*>, kNumPriorities>> inq_;
+  /// CIOQ egress FIFOs per (egress port, priority), bounded by egress_cap_.
+  std::vector<std::array<std::deque<Packet*>, kNumPriorities>> outq_;
+  std::vector<std::array<std::int64_t, kNumPriorities>> outq_bytes_;
+  /// Round-robin cursors per egress port.
+  struct EgressRr {
+    int prio = 0;
+    int in = 0;
+  };
+  std::vector<EgressRr> rr_;
+  /// Move eligible input-queue heads into the output queues of
+  /// `seed_egress` (and any egress unblocked by the moves), with per-egress
+  /// round-robin arbitration across ingress ports — a crossbar arbiter.
+  /// Wakes egresses that received work (deferred to avoid re-entering the
+  /// transmit path this may be called from).
+  void dispatch(int seed_egress);
+
+  std::uint32_t active_prios_ = 0;  // bitmask: priorities ever seen
+  SwitchArch arch_ = SwitchArch::kOutputQueuedFifo;
+  std::int64_t egress_cap_ = 3000;  // 2 MTU
+  /// Per-egress RR cursor over ingress ports (dispatch arbitration).
+  std::vector<int> arb_rr_;
+  std::vector<std::vector<std::int32_t>> routes_;  // indexed by dst NodeId
+  std::uint64_t forwarded_packets_ = 0;
+};
+
+}  // namespace gfc::net

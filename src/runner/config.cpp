@@ -1,0 +1,105 @@
+#include "runner/config.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfc::runner {
+
+const char* fc_name(FcKind kind) {
+  switch (kind) {
+    case FcKind::kNone: return "none";
+    case FcKind::kPfc: return "PFC";
+    case FcKind::kCbfc: return "CBFC";
+    case FcKind::kGfcBuffer: return "GFC-buffer";
+    case FcKind::kGfcTime: return "GFC-time";
+    case FcKind::kGfcConceptual: return "GFC-conceptual";
+  }
+  return "?";
+}
+
+FcSetup FcSetup::pfc(std::int64_t xoff, std::int64_t xon) {
+  FcSetup s;
+  s.kind = FcKind::kPfc;
+  s.xoff = xoff;
+  s.xon = xon;
+  return s;
+}
+
+FcSetup FcSetup::cbfc(sim::TimePs period) {
+  FcSetup s;
+  s.kind = FcKind::kCbfc;
+  s.period = period;
+  return s;
+}
+
+FcSetup FcSetup::gfc_buffer(std::int64_t b1, std::int64_t bm) {
+  FcSetup s;
+  s.kind = FcKind::kGfcBuffer;
+  s.b1 = b1;
+  s.bm = bm;
+  return s;
+}
+
+FcSetup FcSetup::gfc_time(std::int64_t b0, std::int64_t bm, sim::TimePs period) {
+  FcSetup s;
+  s.kind = FcKind::kGfcTime;
+  s.b0 = b0;
+  s.bm = bm;
+  s.period = period;
+  return s;
+}
+
+FcSetup FcSetup::gfc_conceptual(std::int64_t b0, std::int64_t bm,
+                                std::int64_t min_delta) {
+  FcSetup s;
+  s.kind = FcKind::kGfcConceptual;
+  s.b0 = b0;
+  s.bm = bm;
+  s.conceptual_min_delta = min_delta;
+  return s;
+}
+
+FcSetup FcSetup::derive(FcKind kind, std::int64_t buffer, sim::Rate c,
+                        sim::TimePs tau, std::int64_t mtu) {
+  switch (kind) {
+    case FcKind::kNone:
+      return none();
+    case FcKind::kPfc: {
+      // C*tau of in-flight absorption plus packet-granularity slack: one
+      // MTU already serializing when the PAUSE is triggered, one more that
+      // may start before it lands, and the pause frame itself.
+      const std::int64_t headroom =
+          core::bytes_over(c, tau) + 2 * mtu + 2 * net::kControlFrameBytes;
+      const std::int64_t xoff = std::max<std::int64_t>(buffer - headroom, 2 * mtu + 1);
+      return pfc(xoff, std::max<std::int64_t>(xoff - 2 * mtu, 1));
+    }
+    case FcKind::kCbfc:
+      return cbfc(core::cbfc_recommended_period(c));
+    case FcKind::kGfcBuffer: {
+      // The paper's bounds are fluid-model ("B_m can be set equal to B");
+      // packets are not fluid, and the rate floor means a saturated queue
+      // can creep past B_m slowly, so leave a few MTUs of slack.
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b1 = core::b1_bound_buffer(bm, c, tau) - 2 * mtu;
+      assert(b1 > 0 && "buffer must exceed 2*C*tau");
+      return gfc_buffer(b1, bm);
+    }
+    case FcKind::kGfcTime: {
+      const sim::TimePs period = core::cbfc_recommended_period(c);
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b0 =
+          core::b0_bound_timebased(bm, c, tau, period) - 2 * mtu;
+      assert(b0 > 0 && "buffer must exceed (sqrt(tau/T)+1)^2*C*T");
+      return gfc_time(b0, bm, period);
+    }
+    case FcKind::kGfcConceptual: {
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b0 = core::b0_bound_conceptual(bm, c, tau) - 2 * mtu;
+      assert(b0 > 0 && "buffer must exceed 4*C*tau");
+      return gfc_conceptual(b0, bm);
+    }
+  }
+  return none();
+}
+
+}  // namespace gfc::runner

@@ -1,0 +1,92 @@
+// Experiment configuration: link parameters plus the flow-control setup,
+// with factory helpers that derive safe GFC parameters from the paper's
+// bounds (Theorems 4.1 / 5.1, Sec. 5.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/mapping.hpp"
+#include "core/params.hpp"
+#include "net/switch.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::runner {
+
+enum class FcKind {
+  kNone,
+  kPfc,
+  kCbfc,
+  kGfcBuffer,
+  kGfcTime,
+  kGfcConceptual,
+};
+
+const char* fc_name(FcKind kind);
+
+struct LinkConfig {
+  sim::Rate rate = sim::gbps(10);
+  sim::TimePs prop_delay = sim::us(1);
+  std::int64_t mtu = 1500;
+};
+
+struct FcSetup {
+  FcKind kind = FcKind::kNone;
+
+  // PFC
+  std::int64_t xoff = 0;
+  std::int64_t xon = 0;
+
+  // CBFC and time-based GFC: feedback period T.
+  sim::TimePs period = 0;
+
+  // GFC buffer-based: first threshold B_1; all: B_m.
+  std::int64_t b1 = 0;
+  std::int64_t bm = 0;
+
+  // GFC time-based / conceptual: linear-mapping knee B_0.
+  std::int64_t b0 = 0;
+
+  sim::Rate min_rate = core::kDefaultMinRate;
+  std::int64_t conceptual_min_delta = 512;
+
+  static FcSetup none() { return FcSetup{}; }
+  static FcSetup pfc(std::int64_t xoff, std::int64_t xon);
+  static FcSetup cbfc(sim::TimePs period);
+  static FcSetup gfc_buffer(std::int64_t b1, std::int64_t bm);
+  static FcSetup gfc_time(std::int64_t b0, std::int64_t bm, sim::TimePs period);
+  static FcSetup gfc_conceptual(std::int64_t b0, std::int64_t bm,
+                                std::int64_t min_delta = 512);
+
+  /// Derive paper-compliant parameters from the buffer size, link rate and
+  /// worst-case tau: PFC gets XOFF = buffer - C*tau headroom (XON 2 MTU
+  /// lower), CBFC the recommended 65535 B period, buffer-based GFC
+  /// B_1 = B_m - 2*C*tau, time-based GFC B_0 from Theorem 5.1.
+  static FcSetup derive(FcKind kind, std::int64_t buffer, sim::Rate c,
+                        sim::TimePs tau, std::int64_t mtu = 1500);
+};
+
+struct ScenarioConfig {
+  LinkConfig link;
+  std::int64_t switch_buffer = 300 * 1000;  // per (ingress port, priority)
+  /// Switch architecture. kOutputQueuedFifo is the literature-standard
+  /// simulator model and the one under which the paper's deadlocks form;
+  /// kCioqRoundRobin is a fair crossbar (see bench/ablation_arbitration).
+  net::SwitchArch arch = net::SwitchArch::kOutputQueuedFifo;
+  std::int64_t egress_queue_bytes = 3000;  // CIOQ egress cap (2 MTU)
+  FcSetup fc;
+  /// Control-frame processing latency t_r (also used to pad tau up to
+  /// testbed-like values).
+  sim::TimePs control_delay = sim::us(1);
+  net::EcnConfig ecn;  // disabled unless a DCQCN study turns it on
+  std::uint64_t seed = 1;
+
+  /// Worst-case feedback latency for these parameters (Eq. 6 with this
+  /// config's processing delay).
+  sim::TimePs tau() const {
+    return core::worst_case_tau(core::TauParams{
+        link.rate, link.mtu, link.prop_delay, control_delay});
+  }
+};
+
+}  // namespace gfc::runner

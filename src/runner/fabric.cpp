@@ -1,0 +1,128 @@
+#include "runner/fabric.hpp"
+
+#include <cassert>
+
+#include "core/gfc_buffer.hpp"
+#include "core/gfc_conceptual.hpp"
+#include "core/gfc_time.hpp"
+#include "flowctl/cbfc.hpp"
+#include "flowctl/pfc.hpp"
+
+namespace gfc::runner {
+
+std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg) {
+  const FcSetup& fc = cfg.fc;
+  switch (fc.kind) {
+    case FcKind::kNone:
+      return nullptr;
+    case FcKind::kPfc:
+      return std::make_unique<flowctl::PfcModule>(
+          flowctl::PfcConfig{fc.xoff, fc.xon});
+    case FcKind::kCbfc: {
+      flowctl::CbfcConfig c;
+      c.period = fc.period;
+      c.buffer_bytes = cfg.switch_buffer;
+      return std::make_unique<flowctl::CbfcModule>(c);
+    }
+    case FcKind::kGfcBuffer:
+      // Coalesce feedback to at most one frame per tau per (port, prio),
+      // in line with the paper's one-per-tau worst-case analysis.
+      return std::make_unique<core::GfcBufferModule>(
+          core::MultiStageMapping(cfg.link.rate, fc.b1, fc.bm, fc.min_rate),
+          cfg.tau());
+    case FcKind::kGfcTime:
+      return std::make_unique<core::GfcTimeModule>(
+          core::LinearMapping(cfg.link.rate, fc.b0, fc.bm, fc.min_rate),
+          fc.period);
+    case FcKind::kGfcConceptual:
+      return std::make_unique<core::GfcConceptualModule>(
+          core::LinearMapping(cfg.link.rate, fc.b0, fc.bm, fc.min_rate),
+          fc.conceptual_min_delta);
+  }
+  return nullptr;
+}
+
+Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
+    : cfg_(cfg) {
+  net_.reseed(cfg.seed);
+  net_.set_control_delay(cfg.control_delay);
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const auto& tn = topo.node(static_cast<topo::NodeIndex>(i));
+    if (tn.is_host) {
+      net::HostNode& h = net_.add_host(tn.name);
+      h.set_mtu(cfg.link.mtu);
+    } else {
+      net::SwitchNode& s = net_.add_switch(tn.name, cfg.switch_buffer);
+      s.set_arch(cfg.arch);
+      s.set_egress_queue_cap(cfg.egress_queue_bytes);
+      if (cfg.ecn.enabled) s.set_ecn(cfg.ecn);
+    }
+  }
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(static_cast<topo::LinkIndex>(l));
+    if (!link.up) continue;
+    const auto [pa, pb] =
+        net_.connect(link.a, link.b, cfg.link.rate, cfg.link.prop_delay);
+    port_map_[{link.a, link.b}] = pa;
+    port_map_[{link.b, link.a}] = pb;
+  }
+  // Flow control attaches last: gates need the peer wiring.
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    auto module = make_fc_module(cfg_);
+    if (module) net_.node(static_cast<net::NodeId>(i)).set_fc(std::move(module));
+  }
+}
+
+int Fabric::port_to(topo::NodeIndex from, topo::NodeIndex to) const {
+  const auto it = port_map_.find({from, to});
+  return it == port_map_.end() ? -1 : it->second;
+}
+
+void Fabric::install_routing(const topo::Topology& topo,
+                             const topo::RoutingTable& routing) {
+  for (topo::NodeIndex s : topo.switches()) {
+    net::SwitchNode& swn = sw(s);
+    swn.clear_routes();
+    for (topo::NodeIndex dst : topo.hosts()) {
+      const auto& hops = routing.next_hops(s, dst);
+      if (hops.empty()) continue;
+      std::vector<std::int32_t> ports;
+      ports.reserve(hops.size());
+      for (topo::NodeIndex nh : hops) {
+        const int p = port_to(s, nh);
+        assert(p >= 0 && "routing references a failed link");
+        ports.push_back(p);
+      }
+      swn.set_route(dst, std::move(ports));
+    }
+  }
+}
+
+std::int64_t Fabric::ingress_queue_bytes(topo::NodeIndex at,
+                                         topo::NodeIndex from, int prio) {
+  const int p = port_to(at, from);
+  assert(p >= 0);
+  return sw(at).ingress_bytes(p, prio);
+}
+
+sim::Rate Fabric::egress_rate(topo::NodeIndex node, topo::NodeIndex toward,
+                              int prio) {
+  const int p = port_to(node, toward);
+  assert(p >= 0);
+  net::Node& n = net_.node(node);
+  if (auto* m = dynamic_cast<core::GfcBufferModule*>(n.fc())) {
+    const sim::Rate r = m->programmed_rate(p, prio);
+    return r.is_zero() ? cfg_.link.rate : r;
+  }
+  if (auto* m = dynamic_cast<core::GfcTimeModule*>(n.fc())) {
+    const sim::Rate r = m->programmed_rate(p, prio);
+    return r.is_zero() ? cfg_.link.rate : r;
+  }
+  if (auto* m = dynamic_cast<core::GfcConceptualModule*>(n.fc())) {
+    const sim::Rate r = m->programmed_rate(p, prio);
+    return r.is_zero() ? cfg_.link.rate : r;
+  }
+  return cfg_.link.rate;
+}
+
+}  // namespace gfc::runner

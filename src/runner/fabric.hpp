@@ -1,0 +1,52 @@
+// Fabric: realize an abstract Topology as a live Network with the chosen
+// flow-control mechanism attached to every node. Topology node indices and
+// net::NodeId values coincide by construction.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/network.hpp"
+#include "runner/config.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+
+namespace gfc::runner {
+
+/// Build the flow-control module configured in `cfg` (one fresh instance
+/// per node).
+std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg);
+
+class Fabric {
+ public:
+  Fabric(const topo::Topology& topo, const ScenarioConfig& cfg);
+
+  net::Network& net() { return net_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+  net::HostNode& host(topo::NodeIndex i) { return *net_.host(i); }
+  net::SwitchNode& sw(topo::NodeIndex i) { return *net_.sw(i); }
+
+  /// Port index on `from` of the (up) link toward `to`; -1 if absent.
+  int port_to(topo::NodeIndex from, topo::NodeIndex to) const;
+
+  /// Translate a next-hop-node routing table into per-switch port routes.
+  void install_routing(const topo::Topology& topo,
+                       const topo::RoutingTable& routing);
+
+  /// Ingress occupancy at switch `at` for the link arriving from `from`.
+  std::int64_t ingress_queue_bytes(topo::NodeIndex at, topo::NodeIndex from,
+                                   int prio = 0);
+
+  /// The GFC rate currently programmed on `node`'s egress toward `toward`
+  /// (line rate for non-GFC mechanisms or ungated ports).
+  sim::Rate egress_rate(topo::NodeIndex node, topo::NodeIndex toward,
+                        int prio = 0);
+
+ private:
+  ScenarioConfig cfg_;
+  net::Network net_;
+  std::map<std::pair<topo::NodeIndex, topo::NodeIndex>, int> port_map_;
+};
+
+}  // namespace gfc::runner

@@ -1,0 +1,107 @@
+#include "runner/scenarios.hpp"
+
+#include <cassert>
+
+#include "stats/flow_stats.hpp"
+#include "stats/throughput.hpp"
+#include "workload/generator.hpp"
+
+namespace gfc::runner {
+
+RingScenario make_ring(const ScenarioConfig& cfg, int n_switches, int hops) {
+  assert(hops >= 1 && hops < n_switches);
+  RingScenario s;
+  s.info = topo::build_ring(s.topo, n_switches);
+  s.fabric = std::make_unique<Fabric>(s.topo, cfg);
+  s.fabric->install_routing(s.topo, topo::ring_clockwise_routes(s.topo, s.info));
+  for (int i = 0; i < n_switches; ++i) {
+    const net::NodeId src = s.info.hosts[static_cast<std::size_t>(i)];
+    const net::NodeId dst =
+        s.info.hosts[static_cast<std::size_t>((i + hops) % n_switches)];
+    s.flows.push_back(s.fabric->net()
+                          .create_flow(src, dst, 0, net::Flow::kUnbounded, 0)
+                          .id);
+  }
+  return s;
+}
+
+IncastScenario make_incast(const ScenarioConfig& cfg, int n_senders,
+                           std::int64_t flow_size) {
+  IncastScenario s;
+  s.info = topo::build_dumbbell(s.topo, n_senders);
+  s.fabric = std::make_unique<Fabric>(s.topo, cfg);
+  s.fabric->install_routing(s.topo, topo::compute_shortest_paths(s.topo));
+  for (topo::NodeIndex h : s.info.senders) {
+    s.flows.push_back(
+        s.fabric->net().create_flow(h, s.info.receiver, 0, flow_size, 0).id);
+  }
+  return s;
+}
+
+FatTreeScenario make_fattree(const ScenarioConfig& cfg, int k,
+                             const std::vector<topo::LinkIndex>& failures) {
+  FatTreeScenario s;
+  s.info = topo::build_fattree(s.topo, k);
+  for (topo::LinkIndex l : failures) s.topo.fail_link(l);
+  s.failed_links = failures;
+  s.routing = topo::compute_shortest_paths(s.topo);
+  s.cbd_prone = topo::cbd_prone(s.topo, s.routing);
+  s.fabric = std::make_unique<Fabric>(s.topo, cfg);
+  s.fabric->install_routing(s.topo, s.routing);
+  return s;
+}
+
+FatTreeScenario make_random_fattree(const ScenarioConfig& cfg, int k,
+                                    double fail_prob, std::uint64_t topo_seed) {
+  FatTreeScenario s;
+  s.info = topo::build_fattree(s.topo, k);
+  sim::Rng rng(topo_seed);
+  s.failed_links = topo::random_failures(s.topo, rng, fail_prob);
+  s.routing = topo::compute_shortest_paths(s.topo);
+  s.cbd_prone = topo::cbd_prone(s.topo, s.routing);
+  s.fabric = std::make_unique<Fabric>(s.topo, cfg);
+  s.fabric->install_routing(s.topo, s.routing);
+  return s;
+}
+
+RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
+  net::Network& net = scenario.fabric->net();
+  const ScenarioConfig& cfg = scenario.fabric->config();
+
+  // Rack = edge switch: pod-major host and edge numbering line up.
+  std::vector<net::NodeId> hosts;
+  std::vector<int> racks;
+  for (topo::NodeIndex h : scenario.info.hosts) {
+    hosts.push_back(h);
+    racks.push_back(scenario.topo.rack_of(h));
+  }
+
+  stats::ThroughputSampler throughput(net, sim::us(100));
+  stats::FlowStats flow_stats(net, [&](const net::Flow& flow) {
+    const auto path =
+        scenario.routing.trace(flow.src, flow.dst, flow.path_salt);
+    const int hops = path.empty() ? 4 : static_cast<int>(path.size()) - 2;
+    return stats::FlowStats::default_ideal_fct(
+        flow, cfg.link.rate, hops, cfg.link.prop_delay, cfg.link.mtu);
+  });
+  stats::DeadlockDetector detector(
+      net, stats::DeadlockOptions{sim::ms(1), 3, opts.stop_on_deadlock});
+
+  workload::ClosedLoopGenerator gen(net, hosts, racks, opts.sizes,
+                                    sim::Rng(opts.workload_seed));
+  gen.start();
+  net.run_until(opts.duration);
+
+  RunSummary out;
+  out.deadlocked = detector.deadlocked();
+  out.deadlock_at = detector.detected_at();
+  out.per_host_gbps = throughput.per_host_average_gbps(
+      static_cast<int>(hosts.size()), opts.warmup, opts.duration);
+  out.mean_slowdown = flow_stats.mean_slowdown();
+  out.flows_completed = net.counters().flows_completed;
+  out.flows_started = gen.flows_started();
+  out.lossless_violations = net.counters().lossless_violations;
+  return out;
+}
+
+}  // namespace gfc::runner

@@ -1,0 +1,79 @@
+// Canned experiment scenarios covering every evaluation setup in the paper:
+// the Figure 1 ring, 2-to-1 / N-to-1 incast, and fat-trees with link
+// failures, plus a closed-loop run helper shared by Table 1 and Figures
+// 16-18.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runner/fabric.hpp"
+#include "stats/deadlock.hpp"
+#include "topo/builders.hpp"
+#include "topo/cbd.hpp"
+#include "topo/scenario_gen.hpp"
+#include "workload/empirical.hpp"
+
+namespace gfc::runner {
+
+/// Figure 1 / Sec 6.1: N-switch ring, one host per switch, flow i runs
+/// clockwise across `hops` inter-switch links (default 2: every link then
+/// carries two line-rate flows, the congestion that arms the deadlock).
+struct RingScenario {
+  topo::Topology topo;
+  topo::RingInfo info;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<net::FlowId> flows;
+};
+RingScenario make_ring(const ScenarioConfig& cfg, int n_switches = 3,
+                       int hops = 2);
+
+/// N senders, one receiver, one switch (Figure 5 with n = 2, Figure 20
+/// with n = 8). size < 0 means permanent flows.
+struct IncastScenario {
+  topo::Topology topo;
+  topo::DumbbellInfo info;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<net::FlowId> flows;
+};
+IncastScenario make_incast(const ScenarioConfig& cfg, int n_senders,
+                           std::int64_t flow_size = net::Flow::kUnbounded);
+
+/// Fat-tree with an explicit failure set, shortest-path-first routing.
+struct FatTreeScenario {
+  topo::Topology topo;
+  topo::FatTreeInfo info;
+  topo::RoutingTable routing;
+  std::vector<topo::LinkIndex> failed_links;
+  bool cbd_prone = false;
+  std::unique_ptr<Fabric> fabric;
+};
+FatTreeScenario make_fattree(const ScenarioConfig& cfg, int k,
+                             const std::vector<topo::LinkIndex>& failures = {});
+
+/// Fat-tree with random failures (each switch link down with `fail_prob`,
+/// hosts kept connected), as in Sec 6.2.3.
+FatTreeScenario make_random_fattree(const ScenarioConfig& cfg, int k,
+                                    double fail_prob, std::uint64_t topo_seed);
+
+/// Closed-loop empirical-workload run over a fat-tree scenario.
+struct RunSummary {
+  bool deadlocked = false;
+  sim::TimePs deadlock_at = -1;
+  double per_host_gbps = 0.0;   // paper's "average available bandwidth"
+  double mean_slowdown = 0.0;   // paper's Figure 17 metric
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t lossless_violations = 0;
+};
+struct RunOptions {
+  sim::TimePs duration = sim::ms(20);
+  sim::TimePs warmup = sim::ms(1);  // excluded from bandwidth averaging
+  std::uint64_t workload_seed = 42;
+  bool stop_on_deadlock = true;
+  workload::FlowSizeCdf sizes = workload::FlowSizeCdf::enterprise();
+};
+RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts);
+
+}  // namespace gfc::runner

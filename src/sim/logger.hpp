@@ -1,0 +1,31 @@
+// Minimal leveled logger. Simulation hot paths use GFC_LOG_DEBUG, which
+// compiles to a level check and is off by default.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gfc::sim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace gfc::sim
+
+#define GFC_LOG(level, ...)                                  \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::gfc::sim::log_level()))           \
+      ::gfc::sim::detail::vlog(level, __VA_ARGS__);          \
+  } while (0)
+
+#define GFC_LOG_DEBUG(...) GFC_LOG(::gfc::sim::LogLevel::kDebug, __VA_ARGS__)
+#define GFC_LOG_INFO(...) GFC_LOG(::gfc::sim::LogLevel::kInfo, __VA_ARGS__)
+#define GFC_LOG_WARN(...) GFC_LOG(::gfc::sim::LogLevel::kWarn, __VA_ARGS__)
+#define GFC_LOG_ERROR(...) GFC_LOG(::gfc::sim::LogLevel::kError, __VA_ARGS__)

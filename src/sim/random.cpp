@@ -1,0 +1,3 @@
+#include "sim/random.hpp"
+
+// Header-only today; this TU pins the library target.

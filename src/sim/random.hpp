@@ -1,0 +1,64 @@
+// Deterministic random source for workloads and scenario generation.
+// One Rng per independent stream; seeding is explicit so every experiment
+// is reproducible from its printed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace gfc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform_real() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Pick a uniformly random element index of a non-empty range.
+  std::size_t pick_index(std::size_t size) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[pick_index(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[pick_index(items.size())];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derive an independent child stream (for per-host generators).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gfc::sim

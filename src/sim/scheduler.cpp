@@ -1,0 +1,59 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gfc::sim {
+
+EventId Scheduler::schedule_at(TimePs t, Callback fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  return EventId{id};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid() || id.value >= next_id_) return false;
+  // Lazy cancellation: remember the id; skip it when popped.
+  return cancelled_.insert(id.value).second;
+}
+
+void Scheduler::fire_top() {
+  // Move the callback out before executing: the callback may schedule
+  // new events and reallocate the heap.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  now_ = top.t;
+  ++executed_;
+  top.fn();
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    const bool was_cancelled = cancelled_.contains(heap_.top().id);
+    fire_top();
+    if (!was_cancelled) return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(TimePs t_end) {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    if (heap_.top().t > t_end) break;
+    fire_top();
+  }
+  if (now_ < t_end && !stop_requested_) now_ = t_end;
+}
+
+void Scheduler::run_all() {
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) fire_top();
+}
+
+}  // namespace gfc::sim

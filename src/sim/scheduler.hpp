@@ -1,0 +1,83 @@
+// Discrete-event scheduler: a binary heap of timestamped callbacks with
+// O(1) lazy cancellation. Events at the same timestamp fire in the order
+// they were scheduled, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gfc::sim {
+
+/// Handle to a scheduled event; pass to Scheduler::cancel().
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  TimePs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimePs t, Callback fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId schedule_in(TimePs delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// no-op; returns whether the event was still pending.
+  bool cancel(EventId id);
+
+  /// Run events until the queue empties or `t_end` is passed. The clock is
+  /// left at min(t_end, last event time); events stamped exactly `t_end`
+  /// are executed.
+  void run_until(TimePs t_end);
+
+  /// Run until the queue is empty.
+  void run_all();
+
+  /// Execute the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Request that run_until/run_all return after the current event.
+  void request_stop() { stop_requested_ = true; }
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePs t;
+    std::uint64_t id;  // doubles as tiebreaker: lower id fires first
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pop and run the top entry. Precondition: heap non-empty.
+  void fire_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimePs now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gfc::sim

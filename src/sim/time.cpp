@@ -1,0 +1,34 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace gfc::sim {
+
+std::string format_time(TimePs t) {
+  char buf[64];
+  if (t == kTimeNever) return "never";
+  if (t >= kPsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  } else if (t >= kPsPerMs) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_ms(t));
+  } else if (t >= kPsPerUs) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fns", static_cast<double>(t) / kPsPerNs);
+  }
+  return buf;
+}
+
+std::string format_rate(Rate r) {
+  char buf[64];
+  if (r.bps >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbps", r.gbps());
+  } else if (r.bps >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fMbps", static_cast<double>(r.bps) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fKbps", static_cast<double>(r.bps) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace gfc::sim

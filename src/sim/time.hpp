@@ -1,0 +1,76 @@
+// Simulation clock and physical units.
+//
+// The engine runs on an integer picosecond clock: one byte at 100 Gb/s
+// serializes in exactly 80 ps, so every transmission boundary in the
+// evaluated configurations (10/40/100 Gb/s) is exactly representable and
+// runs are bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace gfc::sim {
+
+/// Simulation time in picoseconds since t = 0.
+using TimePs = std::int64_t;
+
+inline constexpr TimePs kPsPerNs = 1'000;
+inline constexpr TimePs kPsPerUs = 1'000'000;
+inline constexpr TimePs kPsPerMs = 1'000'000'000;
+inline constexpr TimePs kPsPerSec = 1'000'000'000'000;
+
+/// Sentinel "never" timestamp.
+inline constexpr TimePs kTimeNever = std::numeric_limits<TimePs>::max();
+
+constexpr TimePs ns(double v) { return static_cast<TimePs>(v * kPsPerNs); }
+constexpr TimePs us(double v) { return static_cast<TimePs>(v * kPsPerUs); }
+constexpr TimePs ms(double v) { return static_cast<TimePs>(v * kPsPerMs); }
+constexpr TimePs seconds(double v) { return static_cast<TimePs>(v * kPsPerSec); }
+
+constexpr double to_seconds(TimePs t) { return static_cast<double>(t) / kPsPerSec; }
+constexpr double to_us(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
+constexpr double to_ms(TimePs t) { return static_cast<double>(t) / kPsPerMs; }
+
+/// Link/line rate. Strong type so a raw byte count can't be mistaken
+/// for a rate; stored in bits per second.
+struct Rate {
+  std::int64_t bps = 0;
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  constexpr bool is_zero() const { return bps <= 0; }
+  constexpr double gbps() const { return static_cast<double>(bps) / 1e9; }
+  /// Bytes transferred over an interval at this rate (floor).
+  constexpr std::int64_t bytes_in(TimePs dt) const {
+    return static_cast<std::int64_t>(
+        (static_cast<__int128>(bps) * dt) / (8 * static_cast<__int128>(kPsPerSec)));
+  }
+};
+
+constexpr Rate bps(std::int64_t v) { return Rate{v}; }
+constexpr Rate kbps(double v) { return Rate{static_cast<std::int64_t>(v * 1e3)}; }
+constexpr Rate mbps(double v) { return Rate{static_cast<std::int64_t>(v * 1e6)}; }
+constexpr Rate gbps(double v) { return Rate{static_cast<std::int64_t>(v * 1e9)}; }
+
+constexpr Rate operator*(Rate r, double f) {
+  return Rate{static_cast<std::int64_t>(static_cast<double>(r.bps) * f)};
+}
+constexpr Rate operator/(Rate r, double f) {
+  return Rate{static_cast<std::int64_t>(static_cast<double>(r.bps) / f)};
+}
+
+/// Serialization delay of `bytes` at `rate`, rounded up so the modeled
+/// sender never exceeds the physical rate.
+constexpr TimePs tx_time(Rate rate, std::int64_t bytes) {
+  if (rate.is_zero()) return kTimeNever;
+  const __int128 num = static_cast<__int128>(bytes) * 8 * kPsPerSec;
+  return static_cast<TimePs>((num + rate.bps - 1) / rate.bps);
+}
+
+/// Human-readable "12.345 us" style rendering (for traces and logs).
+std::string format_time(TimePs t);
+std::string format_rate(Rate r);
+
+}  // namespace gfc::sim

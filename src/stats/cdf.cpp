@@ -1,0 +1,51 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfc::stats {
+
+void CdfBuilder::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double CdfBuilder::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double CdfBuilder::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double CdfBuilder::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double CdfBuilder::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> CdfBuilder::points(int n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n <= 1) return out;
+  ensure_sorted();
+  for (int i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / (n - 1);
+    out.push_back({quantile(q), q});
+  }
+  return out;
+}
+
+}  // namespace gfc::stats

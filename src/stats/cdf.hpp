@@ -1,0 +1,33 @@
+// Sample accumulator with quantile / CDF extraction (Figure 19 and the
+// Table-1 companion statistics).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gfc::stats {
+
+class CdfBuilder {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; nearest-rank quantile.
+  double quantile(double q) const;
+  /// `n` evenly spaced (value, cumulative probability) points.
+  std::vector<std::pair<double, double>> points(int n) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace gfc::stats

@@ -1,0 +1,53 @@
+// Runtime deadlock detection.
+//
+// A port is in hold-and-wait when it is idle, holds data, and its gate
+// blocks every head-of-line packet with no self-scheduled wake (PFC pause /
+// CBFC credit exhaustion; GFC's rate limiter always has a wake time, so GFC
+// ports never qualify — exactly the paper's argument). Deadlock is declared
+// when the wait-for graph over hold-and-wait ports contains a cycle for
+// `confirm_scans` consecutive scans: stalled egress A->B waits on the
+// stalled egress ports of B that hold packets charged to the A->B ingress.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "stats/probe.hpp"
+
+namespace gfc::stats {
+
+struct DeadlockOptions {
+  sim::TimePs period = sim::ms(1);
+  int confirm_scans = 3;
+  bool stop_on_detect = false;  // halt the scheduler at detection
+};
+
+class DeadlockDetector {
+ public:
+  using Options = DeadlockOptions;
+
+  explicit DeadlockDetector(net::Network& net, Options opts = {});
+
+  bool deadlocked() const { return deadlocked_; }
+  sim::TimePs detected_at() const { return detected_at_; }
+  /// The witness cycle: (node id, egress port index) pairs.
+  const std::vector<std::pair<net::NodeId, int>>& cycle() const { return cycle_; }
+
+  /// One-shot analysis at the current instant (also used by tests).
+  bool cycle_now(std::vector<std::pair<net::NodeId, int>>* cycle = nullptr);
+
+ private:
+  void scan(sim::TimePs now);
+
+  net::Network& net_;
+  Options opts_;
+  PeriodicProbe probe_;
+  int consecutive_ = 0;
+  bool deadlocked_ = false;
+  sim::TimePs detected_at_ = -1;
+  std::vector<std::pair<net::NodeId, int>> cycle_;
+};
+
+}  // namespace gfc::stats

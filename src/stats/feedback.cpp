@@ -1,0 +1,33 @@
+#include "stats/feedback.hpp"
+
+namespace gfc::stats {
+
+FeedbackBandwidthMonitor::FeedbackBandwidthMonitor(net::Network& net,
+                                                   sim::TimePs window)
+    : net_(net),
+      window_(window),
+      probe_(net.sched(), window, [this](sim::TimePs now) { sample(now); }) {
+  last_ctrl_bytes_.resize(net.node_count());
+  for (std::size_t n = 0; n < net.node_count(); ++n)
+    last_ctrl_bytes_[n].assign(
+        static_cast<std::size_t>(net.node(static_cast<net::NodeId>(n)).port_count()),
+        0);
+}
+
+void FeedbackBandwidthMonitor::sample(sim::TimePs) {
+  const double window_sec = sim::to_seconds(window_);
+  for (std::size_t n = 0; n < net_.node_count(); ++n) {
+    net::Node& node = net_.node(static_cast<net::NodeId>(n));
+    if (!node.is_switch()) continue;  // feedback originates at switches
+    for (int p = 0; p < node.port_count(); ++p) {
+      const std::uint64_t cur = node.port(p).tx_control_bytes();
+      std::uint64_t& last = last_ctrl_bytes_[n][static_cast<std::size_t>(p)];
+      const double bits = static_cast<double>(cur - last) * 8.0;
+      last = cur;
+      const double cap = static_cast<double>(node.port(p).line_rate().bps);
+      cdf_.add(bits / (cap * window_sec));
+    }
+  }
+}
+
+}  // namespace gfc::stats

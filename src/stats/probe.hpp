@@ -1,0 +1,69 @@
+// Self-rearming periodic sampler: the building block for the queue-length /
+// rate evolution traces of Figures 5, 9, 10, 18 and 20.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace gfc::stats {
+
+class PeriodicProbe {
+ public:
+  /// Calls `fn(now)` every `period` starting at now + period, until stop().
+  PeriodicProbe(sim::Scheduler& sched, sim::TimePs period,
+                std::function<void(sim::TimePs)> fn)
+      : sched_(sched), period_(period), fn_(std::move(fn)) {
+    arm();
+  }
+  ~PeriodicProbe() { stop(); }
+  PeriodicProbe(const PeriodicProbe&) = delete;
+  PeriodicProbe& operator=(const PeriodicProbe&) = delete;
+
+  void stop() {
+    if (event_.valid()) {
+      sched_.cancel(event_);
+      event_ = {};
+    }
+  }
+
+ private:
+  void arm() {
+    event_ = sched_.schedule_in(period_, [this] {
+      fn_(sched_.now());
+      arm();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  sim::TimePs period_;
+  std::function<void(sim::TimePs)> fn_;
+  sim::EventId event_{};
+};
+
+/// A (time, value) trace with CSV-ish dumping helpers.
+struct TimeSeries {
+  std::vector<std::pair<sim::TimePs, double>> points;
+  void add(sim::TimePs t, double v) { points.push_back({t, v}); }
+  double last() const { return points.empty() ? 0.0 : points.back().second; }
+  double max() const {
+    double m = 0;
+    for (const auto& [t, v] : points) m = v > m ? v : m;
+    return m;
+  }
+  /// Mean of samples with t in [from, to).
+  double mean(sim::TimePs from, sim::TimePs to) const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& [t, v] : points)
+      if (t >= from && t < to) {
+        sum += v;
+        ++n;
+      }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+};
+
+}  // namespace gfc::stats

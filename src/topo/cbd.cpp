@@ -1,0 +1,124 @@
+#include "topo/cbd.hpp"
+
+#include <algorithm>
+
+namespace gfc::topo {
+
+int BufferDependencyGraph::vertex(DirectedLink l) {
+  auto [it, inserted] = vertex_ids_.try_emplace(l, static_cast<int>(vertices_.size()));
+  if (inserted) {
+    vertices_.push_back(l);
+    edges_.emplace_back();
+  }
+  return it->second;
+}
+
+void BufferDependencyGraph::add_path(const std::vector<NodeIndex>& path) {
+  // Collect consecutive switch->switch hops, then chain them.
+  std::vector<DirectedLink> hops;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!topo_->is_host(path[i]) && !topo_->is_host(path[i + 1]))
+      hops.push_back({path[i], path[i + 1]});
+  }
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const int a = vertex(hops[i]);
+    const int b = vertex(hops[i + 1]);
+    auto& out = edges_[static_cast<std::size_t>(a)];
+    if (std::find(out.begin(), out.end(), b) == out.end()) out.push_back(b);
+  }
+}
+
+void BufferDependencyGraph::add_routing_closure(const RoutingTable& routing) {
+  // Per destination, only switches actually reachable from some source
+  // host along the ECMP DAG contribute dependencies: a next-hop table
+  // entry no packet can arrive at (common after failures, when a switch
+  // keeps a bounce route toward d but nothing routes *through* it toward
+  // d) must not fabricate cycles.
+  std::vector<char> reachable(topo_->node_count());
+  std::vector<NodeIndex> frontier;
+  for (NodeIndex dst : topo_->hosts()) {
+    std::fill(reachable.begin(), reachable.end(), 0);
+    frontier.clear();
+    for (NodeIndex s : topo_->hosts()) {
+      if (s == dst) continue;
+      for (NodeIndex n : routing.next_hops(s, dst)) {
+        if (!topo_->is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
+          reachable[static_cast<std::size_t>(n)] = 1;
+          frontier.push_back(n);
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeIndex v = frontier.back();
+      frontier.pop_back();
+      for (NodeIndex n : routing.next_hops(v, dst)) {
+        if (!topo_->is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
+          reachable[static_cast<std::size_t>(n)] = 1;
+          frontier.push_back(n);
+        }
+      }
+    }
+    for (NodeIndex s : topo_->switches()) {
+      if (!reachable[static_cast<std::size_t>(s)]) continue;
+      for (NodeIndex n : routing.next_hops(s, dst)) {
+        if (topo_->is_host(n)) continue;
+        const int a = vertex({s, n});
+        for (NodeIndex m : routing.next_hops(n, dst)) {
+          if (topo_->is_host(m)) continue;
+          const int b = vertex({n, m});
+          auto& out = edges_[static_cast<std::size_t>(a)];
+          if (std::find(out.begin(), out.end(), b) == out.end())
+            out.push_back(b);
+        }
+      }
+    }
+  }
+}
+
+CbdResult BufferDependencyGraph::find_cycle() const {
+  CbdResult result;
+  const int n = static_cast<int>(vertices_.size());
+  // Iterative DFS with tri-color marking; reconstruct the cycle from the
+  // parent chain when a back edge is found.
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 white 1 grey 2 black
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [v, next_edge] = stack.back();
+      const auto& out = edges_[static_cast<std::size_t>(v)];
+      if (next_edge < out.size()) {
+        const int w = out[next_edge++];
+        if (color[static_cast<std::size_t>(w)] == 0) {
+          color[static_cast<std::size_t>(w)] = 1;
+          parent[static_cast<std::size_t>(w)] = v;
+          stack.push_back({w, 0});
+        } else if (color[static_cast<std::size_t>(w)] == 1) {
+          // Back edge v -> w closes a cycle w -> ... -> v -> w.
+          result.has_cbd = true;
+          std::vector<int> cyc{v};
+          for (int u = v; u != w; u = parent[static_cast<std::size_t>(u)])
+            cyc.push_back(parent[static_cast<std::size_t>(u)]);
+          std::reverse(cyc.begin(), cyc.end());
+          for (int u : cyc)
+            result.cycle.push_back(vertices_[static_cast<std::size_t>(u)]);
+          return result;
+        }
+      } else {
+        color[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+bool cbd_prone(const Topology& topo, const RoutingTable& routing) {
+  BufferDependencyGraph graph(topo);
+  graph.add_routing_closure(routing);
+  return graph.find_cycle().has_cbd;
+}
+
+}  // namespace gfc::topo

@@ -1,0 +1,55 @@
+// Cyclic-buffer-dependency (CBD) analysis — the circular-wait condition.
+//
+// Vertices of the dependency graph are directed switch-to-switch links
+// (equivalently: the downstream ingress buffer each link feeds). A flow
+// whose path crosses switches ... -> s1 -> s2 -> s3 -> ... makes the buffer
+// at (s1->s2) depend on the buffer at (s2->s3). A directed cycle is a CBD.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+
+namespace gfc::topo {
+
+/// A directed switch-to-switch hop.
+using DirectedLink = std::pair<NodeIndex, NodeIndex>;
+
+struct CbdResult {
+  bool has_cbd = false;
+  /// One witness cycle of directed links (empty if none).
+  std::vector<DirectedLink> cycle;
+};
+
+class BufferDependencyGraph {
+ public:
+  explicit BufferDependencyGraph(const Topology& topo) : topo_(&topo) {}
+
+  /// Add the dependencies induced by one concrete flow path (node ids).
+  void add_path(const std::vector<NodeIndex>& path);
+
+  /// Add dependencies for *every* ECMP option toward *every* host: the
+  /// union routing closure. A cycle here means the scenario is CBD-prone
+  /// (the pre-filter used for Table 1).
+  void add_routing_closure(const RoutingTable& routing);
+
+  CbdResult find_cycle() const;
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+
+ private:
+  int vertex(DirectedLink l);
+
+  const Topology* topo_;
+  std::map<DirectedLink, int> vertex_ids_;
+  std::vector<DirectedLink> vertices_;
+  std::vector<std::vector<int>> edges_;
+};
+
+/// Convenience: is the routed topology CBD-prone at all?
+bool cbd_prone(const Topology& topo, const RoutingTable& routing);
+
+}  // namespace gfc::topo

@@ -1,0 +1,106 @@
+#include "topo/routing.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "net/ecmp.hpp"
+
+namespace gfc::topo {
+
+std::vector<NodeIndex> RoutingTable::trace(NodeIndex src, NodeIndex dst,
+                                           std::uint64_t salt) const {
+  std::vector<NodeIndex> path{src};
+  NodeIndex at = src;
+  while (at != dst) {
+    if (path.size() > n_) return {};  // loop guard
+    const auto& hops = next_hops(at, dst);
+    if (hops.empty()) return {};
+    const std::size_t pick =
+        hops.size() == 1 ? 0 : net::ecmp_select(salt, at, hops.size());
+    at = hops[pick];
+    path.push_back(at);
+  }
+  return path;
+}
+
+RoutingTable compute_shortest_paths(const Topology& topo) {
+  const std::size_t n = topo.node_count();
+  RoutingTable table(n);
+  constexpr int kInf = std::numeric_limits<int>::max();
+  std::vector<int> dist(n);
+  for (NodeIndex dst : topo.hosts()) {
+    dist.assign(n, kInf);
+    dist[static_cast<std::size_t>(dst)] = 0;
+    std::deque<NodeIndex> bfs{dst};
+    while (!bfs.empty()) {
+      const NodeIndex v = bfs.front();
+      bfs.pop_front();
+      for (const auto& [nbr, link] : topo.neighbors(v)) {
+        // Hosts never transit traffic: only the destination itself may be
+        // an intermediate BFS node on the host layer.
+        if (topo.is_host(nbr)) continue;
+        if (dist[static_cast<std::size_t>(nbr)] == kInf) {
+          dist[static_cast<std::size_t>(nbr)] = dist[static_cast<std::size_t>(v)] + 1;
+          bfs.push_back(nbr);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeIndex at = static_cast<NodeIndex>(v);
+      if (at == dst) continue;
+      std::vector<NodeIndex> hops;
+      if (topo.is_host(at)) {
+        // Source hosts (BFS never labels them) exit via their closest
+        // attached switch(es).
+        int best = kInf;
+        for (const auto& [nbr, link] : topo.neighbors(at)) {
+          if (topo.is_host(nbr)) continue;
+          const int d = dist[static_cast<std::size_t>(nbr)];
+          if (d < best) {
+            best = d;
+            hops.assign(1, nbr);
+          } else if (d == best && d != kInf) {
+            hops.push_back(nbr);
+          }
+        }
+      } else {
+        if (dist[v] == kInf) continue;
+        for (const auto& [nbr, link] : topo.neighbors(at)) {
+          const int d_nbr =
+              nbr == dst
+                  ? 0
+                  : (topo.is_host(nbr) ? kInf : dist[static_cast<std::size_t>(nbr)]);
+          if (d_nbr != kInf && d_nbr == dist[v] - 1) hops.push_back(nbr);
+        }
+      }
+      if (!hops.empty()) table.set_next_hops(at, dst, std::move(hops));
+    }
+  }
+  return table;
+}
+
+RoutingTable ring_clockwise_routes(const Topology& topo, const RingInfo& ring) {
+  RoutingTable table(topo.node_count());
+  const int n = static_cast<int>(ring.switches.size());
+  for (int d = 0; d < n; ++d) {
+    const NodeIndex dst = ring.hosts[static_cast<std::size_t>(d)];
+    // Host sources go to their local switch.
+    for (int s = 0; s < n; ++s) {
+      if (s != d)
+        table.set_next_hops(ring.hosts[static_cast<std::size_t>(s)], dst,
+                            {ring.switches[static_cast<std::size_t>(s)]});
+    }
+    for (int s = 0; s < n; ++s) {
+      const NodeIndex at = ring.switches[static_cast<std::size_t>(s)];
+      if (s == d) {
+        table.set_next_hops(at, dst, {dst});
+      } else {
+        table.set_next_hops(at, dst,
+                            {ring.switches[static_cast<std::size_t>((s + 1) % n)]});
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace gfc::topo

@@ -1,0 +1,56 @@
+// Shortest-path-first routing with ECMP, exactly the algorithm named in
+// the paper's evaluation, plus the constrained clockwise routing that the
+// Figure 1 ring scenario needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+
+namespace gfc::topo {
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(std::size_t node_count) : n_(node_count) {
+    table_.resize(n_ * n_);
+  }
+
+  /// Equal-cost next-hop *nodes* from `at` toward destination host `dst`.
+  const std::vector<NodeIndex>& next_hops(NodeIndex at, NodeIndex dst) const {
+    return table_[idx(at, dst)];
+  }
+  void set_next_hops(NodeIndex at, NodeIndex dst, std::vector<NodeIndex> hops) {
+    table_[idx(at, dst)] = std::move(hops);
+  }
+
+  /// The exact node sequence a flow with `salt` follows (replicates the
+  /// switch data-path ECMP hash). Empty if unroutable or a loop is hit.
+  std::vector<NodeIndex> trace(NodeIndex src, NodeIndex dst,
+                               std::uint64_t salt) const;
+
+  bool routable(NodeIndex src, NodeIndex dst) const {
+    return !next_hops(src, dst).empty();
+  }
+
+  std::size_t node_count() const { return n_; }
+
+ private:
+  std::size_t idx(NodeIndex at, NodeIndex dst) const {
+    return static_cast<std::size_t>(at) * n_ + static_cast<std::size_t>(dst);
+  }
+  std::size_t n_ = 0;
+  std::vector<std::vector<NodeIndex>> table_;
+};
+
+/// BFS all-shortest-paths toward every host, over up links.
+RoutingTable compute_shortest_paths(const Topology& topo);
+
+/// Ring scenario: every switch forwards non-local destinations clockwise
+/// (S_i -> S_{i+1}). This pinned routing is what creates the cyclic buffer
+/// dependency of Figure 1.
+RoutingTable ring_clockwise_routes(const Topology& topo, const RingInfo& ring);
+
+}  // namespace gfc::topo

@@ -1,0 +1,60 @@
+// Deadlock-prone scenario generation: random link failures (Table 1) and
+// the deterministic search for a Figure-11-style case study (a 3-failure
+// fat-tree(k=4) where the paper's four flows form a 4-hop core/agg CBD).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "topo/cbd.hpp"
+
+namespace gfc::topo {
+
+/// Fail each switch-to-switch link independently with probability `p`,
+/// requiring that all hosts stay connected (resampled up to `max_tries`
+/// times otherwise). Returns the failed link set; the topology is left
+/// with those links down.
+std::vector<LinkIndex> random_failures(Topology& topo, sim::Rng& rng, double p,
+                                       int max_tries = 100);
+
+struct Fig11Case {
+  std::vector<LinkIndex> failed_links;            // exactly 3
+  std::vector<std::pair<NodeIndex, NodeIndex>> flows;  // (src, dst) hosts
+  std::vector<std::uint64_t> salts;               // pins each flow's path
+  std::vector<std::vector<NodeIndex>> paths;      // resulting node paths
+  CbdResult cbd;                                  // the witness cycle
+};
+
+/// Search 3-link-failure combinations of a fat-tree(k=4) under which the
+/// paper's four flows (H0->H8, H4->H12, H9->H1, H13->H5) form a CBD whose
+/// cycle spans >= 4 directed links among agg/core switches, with every
+/// cycle link shared by >= `min_flows_per_cycle_link` of the flows (2 makes
+/// the cycle links oversubscribed, so the buffers actually fill and PFC
+/// really deadlocks). The topology is restored before returning; the bench
+/// re-applies `failed_links`.
+std::vector<Fig11Case> find_fig11_cases(Topology& topo, const FatTreeInfo& ft,
+                                        std::size_t max_cases = 4,
+                                        int min_flows_per_cycle_link = 2);
+
+/// A set of host-to-host flows whose concrete paths cover every directed
+/// link of a CBD cycle at least `per_link` times — the "specific flow
+/// combination that fills up the CBD" (Sec 6.2.3) made explicit. The paper
+/// hunts for such combinations stochastically with 100 repeats per
+/// scenario; at laptop scale we condition on them directly (see
+/// EXPERIMENTS.md, Table 1).
+struct CbdStress {
+  struct FlowSpec {
+    NodeIndex src;
+    NodeIndex dst;
+    std::uint64_t salt;
+  };
+  std::vector<FlowSpec> flows;
+  bool covered = false;  // every cycle link reached the target multiplicity
+};
+CbdStress build_cbd_stress(const Topology& topo, const RoutingTable& routing,
+                           const std::vector<DirectedLink>& cycle,
+                           sim::Rng& rng, int per_link = 2,
+                           int max_tries_per_link = 4000);
+
+}  // namespace gfc::topo

@@ -1,0 +1,73 @@
+#include "workload/empirical.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gfc::workload {
+
+FlowSizeCdf::FlowSizeCdf(std::vector<std::pair<std::int64_t, double>> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  assert(points_.back().second >= 0.999);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].first >= points_[i - 1].first);
+    assert(points_[i].second >= points_[i - 1].second);
+  }
+}
+
+std::int64_t FlowSizeCdf::sample(sim::Rng& rng) const {
+  const double u = rng.uniform_real();
+  if (u <= points_.front().second) return points_.front().first;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].second) {
+      const auto [s0, p0] = points_[i - 1];
+      const auto [s1, p1] = points_[i];
+      if (p1 <= p0 || s1 <= s0) return s1;
+      // Interpolate in log(size): heavy-tailed distributions are roughly
+      // straight lines on a log axis.
+      const double f = (u - p0) / (p1 - p0);
+      const double ls = std::log(static_cast<double>(s0)) +
+                        f * (std::log(static_cast<double>(s1)) -
+                             std::log(static_cast<double>(s0)));
+      return static_cast<std::int64_t>(std::exp(ls));
+    }
+  }
+  return points_.back().first;
+}
+
+double FlowSizeCdf::mean_bytes() const {
+  double mean = points_.front().second * static_cast<double>(points_.front().first);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dp = points_[i].second - points_[i - 1].second;
+    mean += dp * 0.5 *
+            static_cast<double>(points_[i].first + points_[i - 1].first);
+  }
+  return mean;
+}
+
+FlowSizeCdf FlowSizeCdf::enterprise() {
+  return FlowSizeCdf({
+      {250, 0.00},
+      {500, 0.15},
+      {1'000, 0.30},
+      {2'000, 0.40},
+      {10'000, 0.53},
+      {30'000, 0.60},
+      {100'000, 0.70},
+      {300'000, 0.80},
+      {1'000'000, 0.90},
+      {3'000'000, 0.95},
+      {10'000'000, 0.99},
+      {30'000'000, 1.00},
+  });
+}
+
+FlowSizeCdf FlowSizeCdf::fixed(std::int64_t size) {
+  return FlowSizeCdf({{size, 1.0}});
+}
+
+FlowSizeCdf FlowSizeCdf::uniform(std::int64_t lo, std::int64_t hi) {
+  return FlowSizeCdf({{lo, 0.0}, {hi, 1.0}});
+}
+
+}  // namespace gfc::workload

@@ -1,0 +1,40 @@
+// Flow-size distributions, including the enterprise workload of Figure 15.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace gfc::workload {
+
+/// Piecewise-log-linear inverse-CDF sampler over (size, cum_prob) points.
+class FlowSizeCdf {
+ public:
+  /// Points must be ascending in both coordinates; the last cum_prob must
+  /// be 1.0.
+  explicit FlowSizeCdf(std::vector<std::pair<std::int64_t, double>> points);
+
+  std::int64_t sample(sim::Rng& rng) const;
+
+  /// Approximate mean (by the trapezoid rule over the inverse CDF).
+  double mean_bytes() const;
+
+  const std::vector<std::pair<std::int64_t, double>>& points() const {
+    return points_;
+  }
+
+  /// Figure 15's empirically observed enterprise traffic pattern [57],
+  /// approximated: ~half the flows under ~10 KB with a heavy tail to
+  /// ~30 MB. (Substitution documented in DESIGN.md.)
+  static FlowSizeCdf enterprise();
+
+  static FlowSizeCdf fixed(std::int64_t size);
+  static FlowSizeCdf uniform(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::vector<std::pair<std::int64_t, double>> points_;
+};
+
+}  // namespace gfc::workload

@@ -1,0 +1,54 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+
+namespace gfc::workload {
+
+ClosedLoopGenerator::ClosedLoopGenerator(net::Network& net,
+                                         std::vector<net::NodeId> hosts,
+                                         std::vector<int> rack_of,
+                                         FlowSizeCdf sizes, sim::Rng rng,
+                                         std::uint8_t priority)
+    : net_(net),
+      hosts_(std::move(hosts)),
+      rack_of_(std::move(rack_of)),
+      sizes_(std::move(sizes)),
+      rng_(rng),
+      priority_(priority) {
+  assert(hosts_.size() == rack_of_.size());
+  net_.add_completion_listener([this](net::Flow& flow) {
+    if (!active_) return;
+    auto it = mine_.find(flow.id);
+    if (it == mine_.end()) return;
+    mine_.erase(it);
+    launch(flow.src);
+  });
+}
+
+void ClosedLoopGenerator::start() {
+  active_ = true;
+  for (net::NodeId h : hosts_) launch(h);
+}
+
+void ClosedLoopGenerator::launch(net::NodeId src) {
+  // Find the source's rack, then draw a destination from another rack.
+  int src_rack = -1;
+  for (std::size_t i = 0; i < hosts_.size(); ++i)
+    if (hosts_[i] == src) src_rack = rack_of_[i];
+  net::NodeId dst = src;
+  for (int tries = 0; tries < 1000; ++tries) {
+    const std::size_t i = rng_.pick_index(hosts_.size());
+    if (hosts_[i] != src && rack_of_[i] != src_rack) {
+      dst = hosts_[i];
+      break;
+    }
+  }
+  if (dst == src) return;  // degenerate topology (single rack)
+  const std::int64_t size = sizes_.sample(rng_);
+  net::Flow& flow =
+      net_.create_flow(src, dst, priority_, size, net_.sched().now());
+  mine_.insert(flow.id);
+  ++flows_started_;
+}
+
+}  // namespace gfc::workload

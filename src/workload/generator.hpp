@@ -1,0 +1,45 @@
+// Closed-loop traffic generation (Sec 6.2.3): each host picks a random
+// destination in a different rack, runs one flow, and immediately starts
+// the next when it completes.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "workload/empirical.hpp"
+
+namespace gfc::workload {
+
+class ClosedLoopGenerator {
+ public:
+  /// `rack_of[i]` is a rack label for hosts[i]; destinations are drawn
+  /// uniformly from hosts in other racks.
+  ClosedLoopGenerator(net::Network& net, std::vector<net::NodeId> hosts,
+                      std::vector<int> rack_of, FlowSizeCdf sizes,
+                      sim::Rng rng, std::uint8_t priority = 0);
+
+  /// Launch one flow per host.
+  void start();
+
+  /// Stop replacing completed flows (in-flight flows run out).
+  void stop() { active_ = false; }
+
+  std::uint64_t flows_started() const { return flows_started_; }
+
+ private:
+  void launch(net::NodeId src);
+
+  net::Network& net_;
+  std::vector<net::NodeId> hosts_;
+  std::vector<int> rack_of_;
+  FlowSizeCdf sizes_;
+  sim::Rng rng_;
+  std::uint8_t priority_;
+  bool active_ = false;
+  std::uint64_t flows_started_ = 0;
+  std::unordered_set<net::FlowId> mine_;
+};
+
+}  // namespace gfc::workload

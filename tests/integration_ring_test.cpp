@@ -1,0 +1,194 @@
+// Integration tests on the Figure 1 scenario: a 3-switch ring where every
+// inter-switch link carries two line-rate flows. PFC and CBFC must trap in
+// deadlock; buffer-based and time-based GFC must keep all flows moving at
+// the fair 5 Gb/s share. This is the paper's core claim.
+#include <gtest/gtest.h>
+
+#include "runner/scenarios.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::runner {
+namespace {
+
+struct RingResult {
+  bool deadlocked = false;
+  sim::TimePs deadlock_at = -1;
+  double per_host_gbps_tail = 0;  // mean delivered rate per host, last 25%
+  std::uint64_t violations = 0;
+  std::int64_t max_ingress_seen = 0;
+};
+
+RingResult run_ring(FcKind kind, sim::TimePs duration = sim::ms(20),
+                    std::int64_t buffer = 300'000,
+                    net::SwitchArch arch = net::SwitchArch::kOutputQueuedFifo) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = buffer;
+  cfg.arch = arch;
+  cfg.fc = FcSetup::derive(kind, buffer, cfg.link.rate, cfg.tau());
+  RingScenario s = make_ring(cfg);
+  net::Network& net = s.fabric->net();
+  stats::ThroughputSampler throughput(net, sim::us(100));
+  stats::DeadlockDetector detector(net);
+  RingResult out;
+  // Track the peak ingress occupancy on S1's port from S0.
+  stats::PeriodicProbe probe(net.sched(), sim::us(50), [&](sim::TimePs) {
+    const auto q = s.fabric->ingress_queue_bytes(s.info.switches[1],
+                                                 s.info.switches[0]);
+    out.max_ingress_seen = std::max(out.max_ingress_seen, q);
+  });
+  net.run_until(duration);
+  out.deadlocked = detector.deadlocked();
+  out.deadlock_at = detector.detected_at();
+  out.per_host_gbps_tail =
+      throughput.average_gbps(0, duration * 3 / 4, duration) / 3.0;
+  out.violations = net.counters().lossless_violations;
+  return out;
+}
+
+TEST(RingDeadlock, PfcTrapsInDeadlock) {
+  const RingResult r = run_ring(FcKind::kPfc);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_GT(r.deadlock_at, 0);
+  // Once dead, nothing is delivered any more.
+  EXPECT_LT(r.per_host_gbps_tail, 0.2);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(RingDeadlock, CbfcTrapsInDeadlock) {
+  const RingResult r = run_ring(FcKind::kCbfc);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_LT(r.per_host_gbps_tail, 0.2);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// On the fair-crossbar architecture GFC settles at the paper's numbers:
+// every host at exactly the 5 Gb/s fair share, queues steady, no deadlock.
+TEST(RingDeadlock, GfcBufferFairShareOnCrossbar) {
+  const RingResult r = run_ring(FcKind::kGfcBuffer, sim::ms(20), 300'000,
+                                net::SwitchArch::kCioqRoundRobin);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_NEAR(r.per_host_gbps_tail, 5.0, 0.5);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_LE(r.max_ingress_seen, 300'000);
+}
+
+TEST(RingDeadlock, GfcTimeFairShareOnCrossbar) {
+  const RingResult r = run_ring(FcKind::kGfcTime, sim::ms(20), 300'000,
+                                net::SwitchArch::kCioqRoundRobin);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_NEAR(r.per_host_gbps_tail, 5.0, 0.5);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_LE(r.max_ingress_seen, 300'000);
+}
+
+TEST(RingDeadlock, GfcConceptualFairShareOnCrossbar) {
+  const RingResult r = run_ring(FcKind::kGfcConceptual, sim::ms(20), 300'000,
+                                net::SwitchArch::kCioqRoundRobin);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_NEAR(r.per_host_gbps_tail, 5.0, 0.5);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+// On the same output-queued switches where PFC/CBFC freeze permanently,
+// GFC keeps every port moving: no deadlock and sustained forward progress —
+// the paper's core claim (rates are never driven to zero, so no
+// hold-and-wait). Note: on a *saturated cycle* with arrival-order FIFOs
+// the achieved rate sits far below the fair share (deep mapping stages);
+// the fair 5 Gb/s of Figs 9/10 additionally needs per-source-fair
+// arbitration (the crossbar tests above).
+void expect_no_hold_and_wait(net::Network& net) {
+  for (std::size_t n = 0; n < net.node_count(); ++n) {
+    net::Node& node = net.node(static_cast<net::NodeId>(n));
+    for (int p = 0; p < node.port_count(); ++p)
+      EXPECT_FALSE(node.port(p).probe_hold_and_wait(net.sched().now()))
+          << node.name() << " port " << p;
+  }
+}
+
+TEST(RingDeadlock, GfcBufferNoHoldAndWaitOnOutputQueued) {
+  ScenarioConfig cfg;
+  cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,
+                           cfg.link.rate, cfg.tau());
+  RingScenario s = make_ring(cfg);
+  stats::DeadlockDetector detector(s.fabric->net());
+  s.fabric->net().run_until(sim::ms(20));
+  EXPECT_FALSE(detector.deadlocked());
+  // The paper's exact claim: no port is ever in hold-and-wait — every
+  // blocked port has a self-scheduled wake (a rate-limiter timer).
+  expect_no_hold_and_wait(s.fabric->net());
+  EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u);
+}
+
+TEST(RingDeadlock, GfcTimeNoHoldAndWaitOnOutputQueued) {
+  ScenarioConfig cfg;
+  cfg.fc = FcSetup::derive(FcKind::kGfcTime, cfg.switch_buffer,
+                           cfg.link.rate, cfg.tau());
+  RingScenario s = make_ring(cfg);
+  stats::DeadlockDetector detector(s.fabric->net());
+  s.fabric->net().run_until(sim::ms(20));
+  EXPECT_FALSE(detector.deadlocked());
+  expect_no_hold_and_wait(s.fabric->net());
+  EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u);
+}
+
+// Ablation: under fair (round-robin) arbitration, the static symmetric
+// ring reaches a stable fluid equilibrium even under PFC — deadlock
+// formation depends on arrival-order (proportional) arbitration.
+TEST(RingDeadlock, PfcStableUnderFairArbitration) {
+  const RingResult r = run_ring(FcKind::kPfc, sim::ms(20), 300'000,
+                                net::SwitchArch::kCioqRoundRobin);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_NEAR(r.per_host_gbps_tail, 5.0, 0.5);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(RingDeadlock, NoFlowControlViolatesLosslessness) {
+  // Sanity check of the invariant machinery itself: with no flow control
+  // the 2x overload must overflow ingress buffers.
+  const RingResult r = run_ring(FcKind::kNone, sim::ms(5));
+  EXPECT_GT(r.violations, 0u);
+}
+
+TEST(RingDeadlock, TestbedParametersReproduceSec61) {
+  // Exact parameters of Sec 6.1: 1 MB buffer, tau = 90 us (software
+  // switches), XOFF 800 KB / XON 797 KB vs buffer-based GFC B1 = 750 KB.
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 1'000'000;
+  cfg.control_delay = sim::us(90) - 2 * sim::us(1) - 2 * sim::us(1.2);
+  cfg.fc = FcSetup::pfc(800'000, 797'000);
+  {
+    RingScenario s = make_ring(cfg);
+    stats::DeadlockDetector detector(s.fabric->net());
+    s.fabric->net().run_until(sim::ms(40));
+    EXPECT_TRUE(detector.deadlocked());
+    EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u);
+  }
+  cfg.fc = FcSetup::gfc_buffer(750'000, 1'000'000);
+  cfg.arch = net::SwitchArch::kCioqRoundRobin;
+  {
+    RingScenario s = make_ring(cfg);
+    net::Network& net = s.fabric->net();
+    stats::ThroughputSampler tp(net, sim::us(100));
+    stats::DeadlockDetector detector(net);
+    net.run_until(sim::ms(40));
+    EXPECT_FALSE(detector.deadlocked());
+    EXPECT_NEAR(tp.average_gbps(0, sim::ms(30), sim::ms(40)) / 3.0, 5.0, 0.5);
+    EXPECT_EQ(net.counters().lossless_violations, 0u);
+  }
+  // Time-based GFC with the testbed parameters: the paper reports the
+  // queue stabilizing at 745 KB and the input rate at 5 Gb/s (Fig 10(b)).
+  cfg.fc = FcSetup::gfc_time(492'000, 1'000'000, sim::us(52.4));
+  {
+    RingScenario s = make_ring(cfg);
+    net::Network& net = s.fabric->net();
+    stats::DeadlockDetector detector(net);
+    net.run_until(sim::ms(40));
+    EXPECT_FALSE(detector.deadlocked());
+    const auto q = s.fabric->ingress_queue_bytes(s.info.switches[1], s.info.hosts[1]);
+    EXPECT_NEAR(static_cast<double>(q), 745'000.0, 30'000.0);
+    EXPECT_EQ(net.counters().lossless_violations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gfc::runner

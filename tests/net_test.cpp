@@ -1,0 +1,258 @@
+// Unit tests for the network substrate: packet pool, links/serialization,
+// egress port queueing and gating, switch forwarding and ingress
+// accounting, host send/receive machinery.
+#include <gtest/gtest.h>
+
+#include "net/ecmp.hpp"
+#include "net/network.hpp"
+
+namespace gfc::net {
+namespace {
+
+using sim::gbps;
+using sim::us;
+
+TEST(PacketPool, AcquireGivesFreshZeroedPackets) {
+  PacketPool pool;
+  Packet* a = pool.acquire();
+  a->size_bytes = 999;
+  a->ecn_ce = true;
+  const auto id_a = a->id;
+  pool.release(a);
+  Packet* b = pool.acquire();  // recycles the slot
+  EXPECT_EQ(b->size_bytes, 0);
+  EXPECT_FALSE(b->ecn_ce);
+  EXPECT_NE(b->id, id_a);  // ids never repeat
+  pool.release(b);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(PacketPool, ManyPacketsSpanChunks) {
+  PacketPool pool;
+  std::vector<Packet*> pkts;
+  for (int i = 0; i < 5000; ++i) pkts.push_back(pool.acquire());
+  EXPECT_EQ(pool.live_count(), 5000u);
+  for (Packet* p : pkts) pool.release(p);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(Ecmp, DeterministicAndSpread) {
+  EXPECT_EQ(ecmp_select(42, 7, 4), ecmp_select(42, 7, 4));
+  int histogram[4] = {0, 0, 0, 0};
+  for (std::uint64_t salt = 0; salt < 400; ++salt)
+    ++histogram[ecmp_select(salt, 3, 4)];
+  for (int h : histogram) EXPECT_GT(h, 50);  // roughly uniform
+}
+
+class TwoHostFixture : public ::testing::Test {
+ protected:
+  // H0 --- S0 --- H1, 10G links, 1 us propagation.
+  void SetUp() override {
+    h0_ = net_.add_host("H0").id();
+    h1_ = net_.add_host("H1").id();
+    s0_ = net_.add_switch("S0", 300'000).id();
+    net_.connect(h0_, s0_, gbps(10), us(1));
+    net_.connect(h1_, s0_, gbps(10), us(1));
+    net_.sw(s0_)->set_route(h0_, {0});
+    net_.sw(s0_)->set_route(h1_, {1});
+  }
+  Network net_;
+  NodeId h0_, h1_, s0_;
+};
+
+TEST_F(TwoHostFixture, SinglepacketTiming) {
+  net_.create_flow(h0_, h1_, 0, 1500, 0);
+  net_.run_until(sim::ms(1));
+  // Store-and-forward: 2 serializations (1.2us each) + 2 propagations (1us).
+  EXPECT_EQ(net_.counters().data_packets_delivered, 1u);
+  const Flow& f = net_.flow(0);
+  EXPECT_EQ(f.finish_time, us(1.2) + us(1) + us(1.2) + us(1));
+}
+
+TEST_F(TwoHostFixture, FlowCompletionAccounting) {
+  net_.create_flow(h0_, h1_, 0, 15'000, 0);  // 10 MTU-size packets
+  net_.run_until(sim::ms(1));
+  const Flow& f = net_.flow(0);
+  EXPECT_TRUE(f.completed());
+  EXPECT_EQ(f.bytes_delivered, 15'000);
+  EXPECT_EQ(net_.counters().flows_completed, 1u);
+  EXPECT_EQ(net_.counters().data_packets_delivered, 10u);
+  EXPECT_EQ(net_.counters().lossless_violations, 0u);
+}
+
+TEST_F(TwoHostFixture, SubMtuTailPacket) {
+  net_.create_flow(h0_, h1_, 0, 1600, 0);  // 1500 + 100
+  net_.run_until(sim::ms(1));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 2u);
+  EXPECT_EQ(net_.flow(0).bytes_delivered, 1600);
+}
+
+TEST_F(TwoHostFixture, UnboundedFlowKeepsSending) {
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.run_until(sim::ms(2));
+  // ~10 Gb/s for 2 ms = 2.5 MB minus ramp; expect > 2 MB delivered.
+  EXPECT_GT(net_.counters().data_bytes_delivered, 2'000'000);
+  EXPECT_FALSE(net_.flow(0).completed());
+}
+
+TEST_F(TwoHostFixture, LineRateThroughput) {
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.run_until(sim::ms(5));
+  const double gbps_measured =
+      static_cast<double>(net_.counters().data_bytes_delivered) * 8.0 /
+      sim::to_seconds(sim::ms(5)) / 1e9;
+  EXPECT_NEAR(gbps_measured, 10.0, 0.1);
+}
+
+TEST_F(TwoHostFixture, DelayedFlowStart) {
+  net_.create_flow(h0_, h1_, 0, 1500, us(100));
+  net_.run_until(us(99));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 0u);
+  net_.run_until(sim::ms(1));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 1u);
+  EXPECT_EQ(net_.flow(0).finish_time, us(100) + us(1.2) + us(1) + us(1.2) + us(1));
+}
+
+TEST_F(TwoHostFixture, SenderPacingHonorsSendRate) {
+  Flow& f = net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  f.send_rate = gbps(2);
+  net_.run_until(sim::ms(5));
+  const double gbps_measured =
+      static_cast<double>(net_.counters().data_bytes_delivered) * 8.0 /
+      sim::to_seconds(sim::ms(5)) / 1e9;
+  EXPECT_NEAR(gbps_measured, 2.0, 0.1);
+}
+
+TEST_F(TwoHostFixture, TwoFlowsShareNicFairly) {
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.run_until(sim::ms(4));
+  const auto d0 = net_.flow(0).bytes_delivered;
+  const auto d1 = net_.flow(1).bytes_delivered;
+  EXPECT_NEAR(static_cast<double>(d0) / static_cast<double>(d1), 1.0, 0.05);
+}
+
+TEST_F(TwoHostFixture, IngressAccountingReturnsToZero) {
+  net_.create_flow(h0_, h1_, 0, 15'000, 0);
+  net_.run_until(sim::ms(1));
+  for (int p = 0; p < net_.sw(s0_)->port_count(); ++p)
+    EXPECT_EQ(net_.sw(s0_)->ingress_bytes_total(p), 0);
+}
+
+TEST_F(TwoHostFixture, UnroutablePacketCountsDrop) {
+  NodeId h2 = net_.add_host("H2").id();
+  net_.connect(h2, s0_, gbps(10), us(1));
+  // No route installed for h2 as a destination.
+  net_.create_flow(h0_, h2, 0, 1500, 0);
+  net_.run_until(sim::ms(1));
+  EXPECT_EQ(net_.counters().route_drops, 1u);
+}
+
+TEST_F(TwoHostFixture, PriorityQueuesIndependent) {
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.create_flow(h0_, h1_, 3, Flow::kUnbounded, 0);
+  net_.run_until(sim::ms(2));
+  // Round-robin across priorities: both make progress.
+  EXPECT_GT(net_.flow(0).bytes_delivered, 500'000);
+  EXPECT_GT(net_.flow(1).bytes_delivered, 500'000);
+}
+
+// A gate that blocks data until opened (to exercise kick/wake machinery).
+class BlockGate final : public TxGate {
+ public:
+  bool allowed(const Packet&, sim::TimePs, sim::TimePs*) override {
+    return open_;
+  }
+  void on_transmit(const Packet&, sim::TimePs) override { ++transmitted_; }
+  void open(EgressPort& port) {
+    open_ = true;
+    port.kick();
+  }
+  int transmitted() const { return transmitted_; }
+
+ private:
+  bool open_ = false;
+  int transmitted_ = 0;
+};
+
+TEST_F(TwoHostFixture, GateBlocksUntilKicked) {
+  auto gate = std::make_unique<BlockGate>();
+  BlockGate* raw = gate.get();
+  net_.host(h0_)->port(0).set_gate(std::move(gate));
+  net_.create_flow(h0_, h1_, 0, 1500, 0);
+  net_.run_until(sim::ms(1));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 0u);
+  raw->open(net_.host(h0_)->port(0));
+  net_.run_until(sim::ms(2));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 1u);
+  EXPECT_EQ(raw->transmitted(), 1);
+}
+
+TEST_F(TwoHostFixture, HoldAndWaitProbe) {
+  auto gate = std::make_unique<BlockGate>();
+  BlockGate* raw = gate.get();
+  net_.host(h0_)->port(0).set_gate(std::move(gate));
+  net_.create_flow(h0_, h1_, 0, 1500, 0);
+  net_.run_until(us(10));
+  EXPECT_TRUE(net_.host(h0_)->port(0).probe_hold_and_wait(net_.sched().now()));
+  raw->open(net_.host(h0_)->port(0));
+  net_.run_until(sim::ms(1));
+  EXPECT_FALSE(net_.host(h0_)->port(0).probe_hold_and_wait(net_.sched().now()));
+}
+
+TEST_F(TwoHostFixture, ControlFramesBypassBlockedData) {
+  auto gate = std::make_unique<BlockGate>();
+  net_.sw(s0_)->port(1).set_gate(std::move(gate));  // block S0 -> H1 data
+  net_.create_flow(h0_, h1_, 0, 1500, 0);
+  net_.run_until(us(50));
+  EXPECT_EQ(net_.counters().data_packets_delivered, 0u);
+  // Control frame jumps the blocked data queue.
+  Packet* ctrl = net_.sw(s0_)->make_control(PacketType::kPfcPause);
+  ctrl->fc_priority = 0;
+  net_.sw(s0_)->send_control(1, ctrl);
+  const auto before = net_.sw(s0_)->port(1).tx_control_frames();
+  net_.run_until(us(60));
+  EXPECT_EQ(net_.sw(s0_)->port(1).tx_control_frames(), before + 1);
+}
+
+TEST_F(TwoHostFixture, EcnThresholdMarking) {
+  EcnConfig ecn;
+  ecn.enabled = true;
+  ecn.kmin = 3000;
+  ecn.kmax = 3000;
+  ecn.pmax = 1.0;
+  net_.sw(s0_)->set_ecn(ecn);
+  // Two senders into one receiver port overload it and build a queue.
+  NodeId h2 = net_.add_host("H2").id();
+  net_.connect(h2, s0_, gbps(10), us(1));
+  net_.sw(s0_)->set_route(h2, {2});
+  int marked = 0;
+  class Listener : public DeliveryListener {
+   public:
+    explicit Listener(int& marked) : marked_(marked) {}
+    void on_delivery(const Packet& pkt, sim::TimePs) override {
+      if (pkt.ecn_ce) ++marked_;
+    }
+    int& marked_;
+  } listener(marked);
+  net_.add_delivery_listener(&listener);
+  net_.create_flow(h0_, h1_, 0, Flow::kUnbounded, 0);
+  net_.create_flow(h2, h1_, 0, Flow::kUnbounded, 0);
+  net_.run_until(sim::ms(1));
+  EXPECT_GT(marked, 10);
+}
+
+TEST(NetworkWiring, ConnectRecordsPeers) {
+  Network net;
+  const NodeId a = net.add_switch("A", 1000).id();
+  const NodeId b = net.add_switch("B", 1000).id();
+  const auto [pa, pb] = net.connect(a, b, gbps(40), us(2));
+  EXPECT_EQ(net.node(a).peer(pa).node, b);
+  EXPECT_EQ(net.node(a).peer(pa).port, pb);
+  EXPECT_EQ(net.node(b).peer(pb).node, a);
+  EXPECT_EQ(net.node(b).peer(pb).port, pa);
+  EXPECT_EQ(net.node(a).port(pa).line_rate(), gbps(40));
+}
+
+}  // namespace
+}  // namespace gfc::net

@@ -1,0 +1,177 @@
+// Property-style parameterized sweeps of the paper's invariants:
+//  P1  losslessness: no mechanism ever overflows an ingress buffer;
+//  P2  GFC never enters hold-and-wait (every blocked port has a wake);
+//  P3  the ring deadlocks under pause/credit mechanisms on arrival-order
+//      switches, and never under any GFC variant, across buffer sizes,
+//      link rates and ring sizes;
+//  P4  work conservation: uncongested paths run at line rate regardless of
+//      the flow-control mechanism;
+//  P5  mapping-function invariants across a parameter grid.
+#include <gtest/gtest.h>
+
+#include "core/mapping.hpp"
+#include "runner/scenarios.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::runner {
+namespace {
+
+using sim::gbps;
+using sim::ms;
+
+std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+bool any_hold_and_wait(net::Network& net) {
+  for (std::size_t n = 0; n < net.node_count(); ++n) {
+    net::Node& node = net.node(static_cast<net::NodeId>(n));
+    for (int p = 0; p < node.port_count(); ++p)
+      if (node.port(p).probe_hold_and_wait(net.sched().now())) return true;
+  }
+  return false;
+}
+
+// --- P1 + P3: ring sweep over mechanisms x buffers x ring sizes ----------
+struct RingParam {
+  FcKind kind;
+  std::int64_t buffer;
+  int n_switches;
+};
+class RingSweep : public ::testing::TestWithParam<RingParam> {};
+
+TEST_P(RingSweep, DeadlockAndLosslessInvariants) {
+  const auto [kind, buffer, n] = GetParam();
+  ScenarioConfig cfg;
+  cfg.switch_buffer = buffer;
+  cfg.fc = FcSetup::derive(kind, buffer, cfg.link.rate, cfg.tau());
+  RingScenario s = make_ring(cfg, n, /*hops=*/2);
+  stats::DeadlockDetector det(s.fabric->net());
+  s.fabric->net().run_until(ms(25));
+  const bool is_gfc = kind == FcKind::kGfcBuffer || kind == FcKind::kGfcTime ||
+                      kind == FcKind::kGfcConceptual;
+  EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u);  // P1
+  if (is_gfc) {
+    EXPECT_FALSE(det.deadlocked());          // P3 (GFC side)
+    EXPECT_FALSE(any_hold_and_wait(s.fabric->net()));  // P2
+  } else {
+    EXPECT_TRUE(det.deadlocked());  // P3 (baseline side)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RingSweep,
+    ::testing::Values(
+        RingParam{FcKind::kPfc, 150'000, 3}, RingParam{FcKind::kPfc, 300'000, 3},
+        RingParam{FcKind::kPfc, 1'000'000, 3}, RingParam{FcKind::kPfc, 300'000, 4},
+        RingParam{FcKind::kPfc, 300'000, 5}, RingParam{FcKind::kCbfc, 150'000, 3},
+        RingParam{FcKind::kCbfc, 300'000, 3}, RingParam{FcKind::kCbfc, 1'000'000, 3},
+        RingParam{FcKind::kCbfc, 300'000, 4},
+        RingParam{FcKind::kGfcBuffer, 150'000, 3},
+        RingParam{FcKind::kGfcBuffer, 300'000, 3},
+        RingParam{FcKind::kGfcBuffer, 1'000'000, 3},
+        RingParam{FcKind::kGfcBuffer, 300'000, 5},
+        RingParam{FcKind::kGfcTime, 300'000, 3},
+        RingParam{FcKind::kGfcTime, 1'000'000, 3},
+        RingParam{FcKind::kGfcTime, 300'000, 4},
+        RingParam{FcKind::kGfcConceptual, 300'000, 3}),
+    [](const auto& info) {
+      return sanitize(std::string(fc_name(info.param.kind)) + "_" +
+                      std::to_string(info.param.buffer / 1000) + "KB_n" +
+                      std::to_string(info.param.n_switches));
+    });
+
+// --- P4: work conservation on an uncongested line ------------------------
+class LineRateSweep : public ::testing::TestWithParam<FcKind> {};
+
+TEST_P(LineRateSweep, UncongestedPathRunsAtLineRate) {
+  ScenarioConfig cfg;
+  cfg.fc = FcSetup::derive(GetParam(), cfg.switch_buffer, cfg.link.rate,
+                           cfg.tau());
+  auto s = make_incast(cfg, 1);  // single sender: no congestion anywhere
+  net::Network& net = s.fabric->net();
+  stats::ThroughputSampler tp(net, sim::us(100));
+  net.run_until(ms(5));
+  EXPECT_NEAR(tp.average_gbps(0, ms(1), ms(5)), 10.0, 0.3)
+      << fc_name(GetParam());
+  EXPECT_EQ(net.counters().lossless_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, LineRateSweep,
+                         ::testing::Values(FcKind::kNone, FcKind::kPfc,
+                                           FcKind::kCbfc, FcKind::kGfcBuffer,
+                                           FcKind::kGfcTime,
+                                           FcKind::kGfcConceptual),
+                         [](const auto& info) {
+                           return sanitize(fc_name(info.param));
+                         });
+
+// --- P5: mapping invariants over a (rate, buffer) grid --------------------
+struct MapParam {
+  std::int64_t rate_gbps;
+  std::int64_t buffer;
+};
+class MappingSweep : public ::testing::TestWithParam<MapParam> {};
+
+TEST_P(MappingSweep, MultiStageInvariants) {
+  const auto [rate, buffer] = GetParam();
+  const sim::Rate c = gbps(static_cast<double>(rate));
+  const sim::TimePs tau = core::worst_case_tau({c, 1500, sim::us(1), sim::us(3)});
+  const std::int64_t b1 = core::b1_bound_buffer(buffer, c, tau);
+  if (b1 <= 0) GTEST_SKIP() << "buffer below 2*C*tau";
+  core::MultiStageMapping m(c, b1, buffer);
+  // Boundaries strictly increase and stay within the buffer.
+  for (int k = 1; k < m.num_stages(); ++k) {
+    EXPECT_LT(m.boundary(k), m.boundary(k + 1));
+    EXPECT_LE(m.boundary(k + 1), buffer);
+  }
+  // Eq. (5) halving of the remaining buffer (checked while the integer
+  // byte grid can still represent the halving accurately).
+  for (int k = 1; k + 1 <= m.num_stages(); ++k) {
+    const double rem_k = static_cast<double>(buffer - m.boundary(k));
+    const double rem_k1 = static_cast<double>(buffer - m.boundary(k + 1));
+    if (rem_k1 < 1024) break;
+    EXPECT_NEAR(rem_k / rem_k1, 2.0, 0.01);
+  }
+  // Eq. (3): R_k <= 3/4 R_{k-1} (we use 1/2, stricter).
+  for (int k = 1; k <= m.num_stages(); ++k)
+    EXPECT_LE(m.rate_of(k).bps, m.rate_of(k - 1).bps * 3 / 4);
+  // stage_of and boundaries are mutually consistent.
+  for (int k = 1; k <= m.num_stages(); ++k) {
+    EXPECT_EQ(m.stage_of(m.boundary(k)), k);
+    EXPECT_EQ(m.stage_of(m.boundary(k) - 1), k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MappingSweep,
+    ::testing::Values(MapParam{10, 300'000}, MapParam{10, 1'000'000},
+                      MapParam{40, 300'000}, MapParam{40, 1'000'000},
+                      MapParam{100, 400'000}, MapParam{100, 2'000'000},
+                      MapParam{25, 500'000}, MapParam{10, 40'000}),
+    [](const auto& info) {
+      return std::to_string(info.param.rate_gbps) + "G_" +
+             std::to_string(info.param.buffer / 1000) + "KB";
+    });
+
+// --- Determinism: identical seeds give identical runs --------------------
+TEST(Determinism, IdenticalRunsByteForByte) {
+  auto run = [] {
+    ScenarioConfig cfg;
+    cfg.switch_buffer = 300'000;
+    cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,
+                             cfg.link.rate, cfg.tau());
+    auto s = make_random_fattree(cfg, 4, 0.05, 11);
+    RunOptions opts;
+    opts.duration = ms(8);
+    const RunSummary r = run_closed_loop(s, opts);
+    return std::make_tuple(r.per_host_gbps, r.flows_completed,
+                           r.mean_slowdown);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gfc::runner

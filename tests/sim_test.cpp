@@ -1,0 +1,209 @@
+// Unit tests for the discrete-event engine: clock math, scheduler ordering,
+// cancellation, determinism, RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(ms(1), 1'000 * us(1));
+  EXPECT_EQ(seconds(1), 1'000 * ms(1));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_us(us(7.25)), 7.25);
+}
+
+TEST(Time, TxTimeExactAtCommonRates) {
+  // 1500 B at 10 Gb/s = 1.2 us.
+  EXPECT_EQ(tx_time(gbps(10), 1500), us(1.2));
+  // one byte at 100 Gb/s = 80 ps exactly.
+  EXPECT_EQ(tx_time(gbps(100), 1), 80);
+  // 64 B control frame at 40 Gb/s = 12.8 ns.
+  EXPECT_EQ(tx_time(gbps(40), 64), static_cast<TimePs>(12.8 * kPsPerNs));
+}
+
+TEST(Time, TxTimeRoundsUpNeverFaster) {
+  const Rate r = bps(3);  // pathological rate
+  const TimePs t = tx_time(r, 1);
+  // 8 bits at 3 bps = 2.666... s; must round up to the next picosecond.
+  EXPECT_GE(t, seconds(8.0 / 3.0));
+  EXPECT_LE(t - seconds(8.0 / 3.0), 1);
+}
+
+TEST(Time, ZeroRateNeverTransmits) {
+  EXPECT_EQ(tx_time(Rate{0}, 100), kTimeNever);
+}
+
+TEST(Time, RateBytesIn) {
+  EXPECT_EQ(gbps(10).bytes_in(us(1)), 1250);
+  EXPECT_EQ(gbps(10).bytes_in(0), 0);
+}
+
+TEST(Time, RateScaling) {
+  EXPECT_EQ((gbps(10) / 2.0).bps, gbps(5).bps);
+  EXPECT_EQ((gbps(10) * 0.5).bps, gbps(5).bps);
+  EXPECT_LT(kbps(8), mbps(1));
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(us(1.5)), "1.500us");
+  EXPECT_EQ(format_rate(gbps(5)), "5.000Gbps");
+  EXPECT_EQ(format_time(kTimeNever), "never");
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(us(3), [&] { order.push_back(3); });
+  sched.schedule_at(us(1), [&] { order.push_back(1); });
+  sched.schedule_at(us(2), [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), us(3));
+}
+
+TEST(Scheduler, FifoAtSameTimestamp) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sched.schedule_at(us(5), [&order, i] { order.push_back(i); });
+  sched.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, RunUntilIncludesBoundaryAndAdvancesClock) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(us(10), [&] { ++fired; });
+  sched.schedule_at(us(11), [&] { ++fired; });
+  sched.run_until(us(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), us(10));
+  sched.run_until(us(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), us(20));  // clock advances to the horizon
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule_at(us(1), [&] { ++fired; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // double-cancel is a no-op
+  sched.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(EventId{}));
+  EXPECT_FALSE(sched.cancel(EventId{12345}));
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.schedule_in(us(1), recurse);
+  };
+  sched.schedule_in(us(1), recurse);
+  sched.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sched.now(), us(5));
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(us(1), [&] { ++fired; });
+  sched.schedule_at(us(2), [&] { ++fired; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, StepSkipsCancelled) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId a = sched.schedule_at(us(1), [&] { ++fired; });
+  sched.schedule_at(us(2), [&] { fired += 10; });
+  sched.cancel(a);
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Scheduler, RequestStopHaltsRun) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(us(1), [&] {
+    ++fired;
+    sched.request_stop();
+  });
+  sched.schedule_at(us(2), [&] { ++fired; });
+  sched.run_until(us(10));
+  EXPECT_EQ(fired, 1);
+  sched.run_until(us(10));  // resumes after a stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PendingAndExecutedCounts) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(us(1), [] {});
+  sched.schedule_at(us(2), [] {});
+  EXPECT_EQ(sched.pending_events(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run_all();
+  EXPECT_EQ(sched.executed_events(), 1u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.5);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(3);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace gfc::sim

@@ -1,0 +1,169 @@
+// Unit tests for measurement utilities: throughput, FCT/slowdown, CDF,
+// feedback bandwidth, deadlock detection.
+#include <gtest/gtest.h>
+
+#include "runner/scenarios.hpp"
+#include "stats/cdf.hpp"
+#include "stats/deadlock.hpp"
+#include "stats/feedback.hpp"
+#include "stats/flow_stats.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::stats {
+namespace {
+
+using sim::gbps;
+using sim::ms;
+using sim::us;
+
+TEST(Cdf, QuantilesAndMoments) {
+  CdfBuilder cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100);
+  EXPECT_NEAR(cdf.quantile(0.5), 50, 1);
+  EXPECT_NEAR(cdf.quantile(0.99), 99, 1);
+  const auto pts = cdf.points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_LE(pts.front().first, pts.back().first);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  CdfBuilder cdf;
+  EXPECT_EQ(cdf.mean(), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points(5).empty());
+}
+
+TEST(Throughput, AggregateMatchesDeliveredBytes) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::none();
+  auto s = runner::make_incast(cfg, 1);
+  net::Network& net = s.fabric->net();
+  ThroughputSampler sampler(net, us(100));
+  net.run_until(ms(2));
+  EXPECT_EQ(sampler.total_bytes(), net.counters().data_bytes_delivered);
+  EXPECT_NEAR(sampler.average_gbps(0, 0, ms(2)), 10.0, 0.5);
+  const auto series = sampler.series_gbps();
+  EXPECT_GT(series.size(), 15u);
+  EXPECT_NEAR(series[10], 10.0, 0.5);
+}
+
+TEST(Throughput, PerFlowKeying) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                   cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  auto s = runner::make_incast(cfg, 2);
+  net::Network& net = s.fabric->net();
+  ThroughputSampler sampler(net, us(100), ThroughputSampler::Key::kPerFlow);
+  net.run_until(ms(5));
+  // Two competing flows share the 10G bottleneck roughly equally.
+  const double f0 = sampler.average_gbps(s.flows[0], ms(3), ms(5));
+  const double f1 = sampler.average_gbps(s.flows[1], ms(3), ms(5));
+  EXPECT_NEAR(f0, 5.0, 0.8);
+  EXPECT_NEAR(f1, 5.0, 0.8);
+}
+
+TEST(FlowStatsTest, SlowdownOfUncontendedFlowIsNearOne) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::none();
+  // A single tiny bootstrap flow, then the measured flow alone on an idle
+  // network.
+  auto s = runner::make_incast(cfg, 1, 1'500);
+  net::Network& net = s.fabric->net();
+  FlowStats stats(net, [&](const net::Flow& flow) {
+    return FlowStats::default_ideal_fct(flow, cfg.link.rate, 1,
+                                        cfg.link.prop_delay, cfg.link.mtu);
+  });
+  net.create_flow(s.info.senders[0], s.info.receiver, 0, 150'000, ms(1));
+  net.run_until(ms(5));
+  ASSERT_EQ(stats.count(), 2u);
+  EXPECT_NEAR(stats.records()[1].slowdown, 1.0, 0.1);
+  EXPECT_GT(stats.mean_fct_us(), 0.0);
+}
+
+TEST(FlowStatsTest, ContendedFlowsSlowDown) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_incast(cfg, 4, 500'000);  // 4 x 500 KB into one host
+  net::Network& net = s.fabric->net();
+  FlowStats stats(net, [&](const net::Flow& flow) {
+    return FlowStats::default_ideal_fct(flow, cfg.link.rate, 1,
+                                        cfg.link.prop_delay, cfg.link.mtu);
+  });
+  net.run_until(ms(10));
+  ASSERT_EQ(stats.count(), 4u);
+  // 4:1 incast: mean slowdown near 4x (the last finisher saw ~4x).
+  EXPECT_GT(stats.mean_slowdown(), 1.8);
+  EXPECT_GT(stats.slowdown_quantile(0.99), 3.0);
+}
+
+TEST(Feedback, QuietWithoutCongestion) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                   cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  auto s = runner::make_incast(cfg, 1);
+  net::Network& net = s.fabric->net();
+  FeedbackBandwidthMonitor monitor(net);
+  net.run_until(ms(5));
+  EXPECT_GT(monitor.samples().count(), 0u);
+  // One uncongested flow: no stage crossings, no feedback.
+  EXPECT_LT(monitor.max_fraction(), 1e-4);
+}
+
+TEST(Feedback, BoundedUnderCongestion) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                   cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  auto s = runner::make_incast(cfg, 2);
+  net::Network& net = s.fabric->net();
+  FeedbackBandwidthMonitor monitor(net);
+  net.run_until(ms(20));
+  // Paper Fig 19: well under 0.5 % of link bandwidth even at the maximum.
+  EXPECT_LT(monitor.max_fraction(), 0.005);
+  EXPECT_LT(monitor.mean_fraction(), 0.004);
+}
+
+TEST(Deadlock, CleanNetworkReportsNothing) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_incast(cfg, 2);
+  DeadlockDetector detector(s.fabric->net());
+  s.fabric->net().run_until(ms(10));
+  EXPECT_FALSE(detector.deadlocked());
+}
+
+TEST(Deadlock, RingPfcProducesWitnessCycle) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_ring(cfg);
+  DeadlockDetector detector(s.fabric->net());
+  s.fabric->net().run_until(ms(20));
+  ASSERT_TRUE(detector.deadlocked());
+  // The witness must be a cycle over the three inter-switch egress ports.
+  EXPECT_GE(detector.cycle().size(), 3u);
+  for (const auto& [node, port] : detector.cycle())
+    EXPECT_TRUE(s.fabric->net().node(node).is_switch());
+  EXPECT_GT(detector.detected_at(), 0);
+}
+
+TEST(Deadlock, StopOnDetectHaltsEarly) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_ring(cfg);
+  DeadlockDetector detector(s.fabric->net(), {ms(1), 3, true});
+  s.fabric->net().run_until(ms(100));
+  ASSERT_TRUE(detector.deadlocked());
+  EXPECT_LT(s.fabric->net().sched().now(), ms(50));
+}
+
+}  // namespace
+}  // namespace gfc::stats

@@ -1,0 +1,175 @@
+// Empirical validation of the paper's parameter bounds: respecting them
+// keeps the network lossless (sufficiency); grossly violating them makes
+// buffers overflow under congestion (the bounds are not vacuous).
+// Plus multi-priority isolation (Sec 7) and feedback-latency sweeps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/gfc_buffer.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::runner {
+namespace {
+
+using sim::gbps;
+using sim::ms;
+using sim::us;
+
+// --- Theorem sufficiency/necessity on the 2-to-1 incast ------------------
+class TauSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TauSweep, DerivedGfcParamsStayLossless) {
+  // Sweep the feedback processing latency; derive() consumes the resulting
+  // tau. Sufficiency: zero violations and no deadlock, every time.
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  cfg.control_delay = us(GetParam());
+  for (const FcKind kind :
+       {FcKind::kGfcBuffer, FcKind::kGfcTime, FcKind::kGfcConceptual}) {
+    cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
+    auto s = make_incast(cfg, 2);
+    stats::DeadlockDetector det(s.fabric->net());
+    s.fabric->net().run_until(ms(8));
+    EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u)
+        << fc_name(kind) << " t_r=" << GetParam() << "us";
+    EXPECT_FALSE(det.deadlocked());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, TauSweep, ::testing::Values(1, 5, 15, 30),
+                         [](const auto& info) {
+                           return "tr_" + std::to_string(info.param) + "us";
+                         });
+
+TEST(TheoremNecessity, ViolatingB1BoundOverflowsTheBuffer) {
+  // Put B_1 far above the Theorem/Eq-5 bound with a large tau: the first
+  // feedback arrives too late and the ingress buffer overflows. This shows
+  // the 2*C*tau constraint is load-bearing, not decorative.
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 100'000;
+  cfg.control_delay = us(60);  // tau ~= 64 us; 2*C*tau ~= 160 KB > buffer
+  cfg.fc = FcSetup::gfc_buffer(99'000, 100'000);  // B1 ~ B_m: no headroom
+  auto s = make_incast(cfg, 2);
+  s.fabric->net().run_until(ms(5));
+  EXPECT_GT(s.fabric->net().counters().lossless_violations, 0u);
+}
+
+TEST(TheoremNecessity, PfcWithoutHeadroomOverflows) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 100'000;
+  cfg.control_delay = us(60);
+  cfg.fc = FcSetup::pfc(99'000, 96'000);  // 1 KB headroom << C*tau
+  auto s = make_incast(cfg, 2);
+  s.fabric->net().run_until(ms(5));
+  EXPECT_GT(s.fabric->net().counters().lossless_violations, 0u);
+}
+
+TEST(TheoremSufficiency, B1ExactlyAtBoundHolds) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  const sim::TimePs tau = cfg.tau();
+  // Paper-exact bound, no extra engineering margin: B1 = Bm - 2*C*tau with
+  // B_m at the physical buffer. The fluid theorem plus one-packet grain.
+  const std::int64_t b1 =
+      core::b1_bound_buffer(cfg.switch_buffer - 2 * cfg.link.mtu,
+                            cfg.link.rate, tau);
+  cfg.fc = FcSetup::gfc_buffer(b1, cfg.switch_buffer - 2 * cfg.link.mtu);
+  auto s = make_incast(cfg, 2);
+  s.fabric->net().run_until(ms(8));
+  EXPECT_EQ(s.fabric->net().counters().lossless_violations, 0u);
+}
+
+// --- Multi-priority isolation (Sec 7) -------------------------------------
+TEST(MultiPriority, PfcPausesOnlyTheCongestedClass) {
+  // Priority 0 suffers a 2-to-1 incast; priority 5 runs a single
+  // uncongested flow between the same hosts. PFC pauses class 0 at the
+  // hosts; class 5 keeps its share of the sender NIC.
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 150'000;
+  cfg.fc = FcSetup::derive(FcKind::kPfc, cfg.switch_buffer, cfg.link.rate,
+                           cfg.tau());
+  topo::Topology topo;
+  auto info = topo::build_dumbbell(topo, 2);
+  Fabric fabric(topo, cfg);
+  fabric.install_routing(topo, topo::compute_shortest_paths(topo));
+  net::Network& net = fabric.net();
+  net.create_flow(info.senders[0], info.receiver, 0, net::Flow::kUnbounded, 0);
+  net.create_flow(info.senders[1], info.receiver, 0, net::Flow::kUnbounded, 0);
+  net.create_flow(info.senders[0], info.receiver, 5, net::Flow::kUnbounded, 0);
+  stats::ThroughputSampler tp(net, us(100), stats::ThroughputSampler::Key::kPerFlow);
+  net.run_until(ms(10));
+  EXPECT_EQ(net.counters().lossless_violations, 0u);
+  // All three flows share the 10G receiver link; the point is that class 5
+  // is never *paused* (it flows continuously at its arbitated share).
+  const double p5 = tp.average_gbps(2, ms(5), ms(10));
+  EXPECT_GT(p5, 2.0);
+}
+
+TEST(MultiPriority, GfcRatesClassesIndependently) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 150'000;
+  cfg.arch = net::SwitchArch::kCioqRoundRobin;
+  cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,
+                           cfg.link.rate, cfg.tau());
+  topo::Topology topo;
+  auto info = topo::build_dumbbell(topo, 2);
+  Fabric fabric(topo, cfg);
+  fabric.install_routing(topo, topo::compute_shortest_paths(topo));
+  net::Network& net = fabric.net();
+  net.create_flow(info.senders[0], info.receiver, 0, net::Flow::kUnbounded, 0);
+  net.create_flow(info.senders[1], info.receiver, 0, net::Flow::kUnbounded, 0);
+  net.create_flow(info.senders[0], info.receiver, 5, net::Flow::kUnbounded, 0);
+  net.run_until(ms(10));
+  EXPECT_EQ(net.counters().lossless_violations, 0u);
+  // Class 0 on sender 0 is rate-limited below line rate (stage >= 1);
+  // class 5's limiter state is independent of class 0's.
+  auto* fc = dynamic_cast<core::GfcBufferModule*>(
+      net.host(info.senders[0])->fc());
+  ASSERT_NE(fc, nullptr);
+  const sim::Rate r0 = fc->programmed_rate(0, 0);
+  const sim::Rate r5 = fc->programmed_rate(0, 5);
+  EXPECT_LT(r0, gbps(10));
+  EXPECT_GE(r5, r0);  // class 5 is never throttled below the congested class
+}
+
+// --- Scheduler stress ------------------------------------------------------
+TEST(SchedulerStress, RandomScheduleCancelOrdering) {
+  sim::Scheduler sched;
+  std::mt19937_64 rng(12345);
+  std::vector<std::pair<sim::TimePs, int>> fired;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto t = static_cast<sim::TimePs>(rng() % 1'000'000);
+    ids.push_back(sched.schedule_at(t, [&fired, t, i] {
+      fired.push_back({t, i});
+    }));
+  }
+  // Cancel a third of them.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (sched.cancel(ids[i])) ++cancelled;
+  }
+  sched.run_all();
+  EXPECT_EQ(fired.size() + cancelled, ids.size());
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1].first, fired[i].first);  // time ordering
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerStress, HeavyRescheduleInsideCallbacks) {
+  sim::Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10'000) sched.schedule_in(100, chain);
+  };
+  sched.schedule_in(100, chain);
+  sched.run_all();
+  EXPECT_EQ(count, 10'000);
+  EXPECT_EQ(sched.now(), 100 * 10'000);
+}
+
+}  // namespace
+}  // namespace gfc::runner

@@ -1,0 +1,102 @@
+// Unit tests for flow-size distributions and the closed-loop generator.
+#include <gtest/gtest.h>
+
+#include "runner/scenarios.hpp"
+#include "workload/generator.hpp"
+
+namespace gfc::workload {
+namespace {
+
+TEST(FlowSizeCdf, FixedAlwaysSame) {
+  FlowSizeCdf cdf = FlowSizeCdf::fixed(12'345);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cdf.sample(rng), 12'345);
+}
+
+TEST(FlowSizeCdf, UniformStaysInRange) {
+  FlowSizeCdf cdf = FlowSizeCdf::uniform(1'000, 10'000);
+  sim::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = cdf.sample(rng);
+    EXPECT_GE(v, 1'000);
+    EXPECT_LE(v, 10'000);
+  }
+}
+
+TEST(FlowSizeCdf, EnterpriseQuantilesMatchTable) {
+  FlowSizeCdf cdf = FlowSizeCdf::enterprise();
+  sim::Rng rng(3);
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 20'000; ++i) samples.push_back(cdf.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  // ~53 % of flows below 10 KB, ~90 % below 1 MB (Fig 15 approximation).
+  const auto frac_below = [&](std::int64_t x) {
+    return static_cast<double>(std::lower_bound(samples.begin(), samples.end(), x) -
+                               samples.begin()) /
+           static_cast<double>(samples.size());
+  };
+  EXPECT_NEAR(frac_below(10'000), 0.53, 0.02);
+  EXPECT_NEAR(frac_below(1'000'000), 0.90, 0.02);
+  EXPECT_NEAR(frac_below(100'000), 0.70, 0.02);
+  EXPECT_LE(samples.back(), 30'000'000);
+  EXPECT_GE(samples.front(), 250);
+}
+
+TEST(FlowSizeCdf, MeanIsHeavyTailDominated) {
+  FlowSizeCdf cdf = FlowSizeCdf::enterprise();
+  // Mean far above the median: heavy tail.
+  EXPECT_GT(cdf.mean_bytes(), 300'000);
+  EXPECT_LT(cdf.mean_bytes(), 3'000'000);
+}
+
+TEST(ClosedLoop, OneFlowPerHostAndRestarts) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_fattree(cfg, 4);
+  net::Network& net = s.fabric->net();
+  std::vector<net::NodeId> hosts;
+  std::vector<int> racks;
+  for (auto h : s.info.hosts) {
+    hosts.push_back(h);
+    racks.push_back(s.topo.rack_of(h));
+  }
+  ClosedLoopGenerator gen(net, hosts, racks, FlowSizeCdf::fixed(50'000),
+                          sim::Rng(7));
+  gen.start();
+  EXPECT_EQ(gen.flows_started(), hosts.size());
+  net.run_until(sim::ms(10));
+  // 50 KB at 10G takes ~0.05 ms: many generations completed per host.
+  EXPECT_GT(gen.flows_started(), hosts.size() * 20);
+  EXPECT_EQ(net.counters().flows_completed + hosts.size(), gen.flows_started());
+  // Destinations always cross racks.
+  for (std::size_t i = 0; i < net.flow_count(); ++i) {
+    const net::Flow& f = net.flow(static_cast<net::FlowId>(i));
+    EXPECT_NE(s.topo.rack_of(f.src), s.topo.rack_of(f.dst));
+  }
+}
+
+TEST(ClosedLoop, StopEndsReplacement) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_fattree(cfg, 4);
+  net::Network& net = s.fabric->net();
+  std::vector<net::NodeId> hosts;
+  std::vector<int> racks;
+  for (auto h : s.info.hosts) {
+    hosts.push_back(h);
+    racks.push_back(s.topo.rack_of(h));
+  }
+  ClosedLoopGenerator gen(net, hosts, racks, FlowSizeCdf::fixed(20'000),
+                          sim::Rng(7));
+  gen.start();
+  net.run_until(sim::ms(1));
+  gen.stop();
+  const auto started = gen.flows_started();
+  net.run_until(sim::ms(5));
+  EXPECT_EQ(gen.flows_started(), started);
+}
+
+}  // namespace
+}  // namespace gfc::workload
