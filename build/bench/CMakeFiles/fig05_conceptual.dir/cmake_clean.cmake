@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_conceptual.dir/fig05_conceptual.cpp.o"
+  "CMakeFiles/fig05_conceptual.dir/fig05_conceptual.cpp.o.d"
+  "fig05_conceptual"
+  "fig05_conceptual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_conceptual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

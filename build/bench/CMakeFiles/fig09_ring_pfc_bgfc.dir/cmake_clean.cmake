@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ring_pfc_bgfc.dir/fig09_ring_pfc_bgfc.cpp.o"
+  "CMakeFiles/fig09_ring_pfc_bgfc.dir/fig09_ring_pfc_bgfc.cpp.o.d"
+  "fig09_ring_pfc_bgfc"
+  "fig09_ring_pfc_bgfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ring_pfc_bgfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

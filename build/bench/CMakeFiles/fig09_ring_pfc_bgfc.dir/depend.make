@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_ring_pfc_bgfc.
+# This may be replaced when dependencies are built.

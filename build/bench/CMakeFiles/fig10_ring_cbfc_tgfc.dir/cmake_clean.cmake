@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ring_cbfc_tgfc.dir/fig10_ring_cbfc_tgfc.cpp.o"
+  "CMakeFiles/fig10_ring_cbfc_tgfc.dir/fig10_ring_cbfc_tgfc.cpp.o.d"
+  "fig10_ring_cbfc_tgfc"
+  "fig10_ring_cbfc_tgfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ring_cbfc_tgfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

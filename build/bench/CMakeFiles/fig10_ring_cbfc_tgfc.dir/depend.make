@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_ring_cbfc_tgfc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_fattree_pfc_bgfc.cpp" "bench/CMakeFiles/fig12_fattree_pfc_bgfc.dir/fig12_fattree_pfc_bgfc.cpp.o" "gcc" "bench/CMakeFiles/fig12_fattree_pfc_bgfc.dir/fig12_fattree_pfc_bgfc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fattree_pfc_bgfc.dir/fig12_fattree_pfc_bgfc.cpp.o"
+  "CMakeFiles/fig12_fattree_pfc_bgfc.dir/fig12_fattree_pfc_bgfc.cpp.o.d"
+  "fig12_fattree_pfc_bgfc"
+  "fig12_fattree_pfc_bgfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fattree_pfc_bgfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_victim_flow.dir/fig14_victim_flow.cpp.o"
+  "CMakeFiles/fig14_victim_flow.dir/fig14_victim_flow.cpp.o.d"
+  "fig14_victim_flow"
+  "fig14_victim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_victim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

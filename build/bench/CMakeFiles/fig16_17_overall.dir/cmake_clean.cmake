@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_17_overall.dir/fig16_17_overall.cpp.o"
+  "CMakeFiles/fig16_17_overall.dir/fig16_17_overall.cpp.o.d"
+  "fig16_17_overall"
+  "fig16_17_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_throughput_evolution.dir/fig18_throughput_evolution.cpp.o"
+  "CMakeFiles/fig18_throughput_evolution.dir/fig18_throughput_evolution.cpp.o.d"
+  "fig18_throughput_evolution"
+  "fig18_throughput_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_throughput_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_feedback_bandwidth.dir/fig19_feedback_bandwidth.cpp.o"
+  "CMakeFiles/fig19_feedback_bandwidth.dir/fig19_feedback_bandwidth.cpp.o.d"
+  "fig19_feedback_bandwidth"
+  "fig19_feedback_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_feedback_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_dcqcn_interaction.dir/fig20_dcqcn_interaction.cpp.o"
+  "CMakeFiles/fig20_dcqcn_interaction.dir/fig20_dcqcn_interaction.cpp.o.d"
+  "fig20_dcqcn_interaction"
+  "fig20_dcqcn_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_dcqcn_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

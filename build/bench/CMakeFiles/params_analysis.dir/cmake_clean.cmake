@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_analysis.dir/params_analysis.cpp.o"
+  "CMakeFiles/params_analysis.dir/params_analysis.cpp.o.d"
+  "params_analysis"
+  "params_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_deadlock_cases.dir/table1_deadlock_cases.cpp.o"
+  "CMakeFiles/table1_deadlock_cases.dir/table1_deadlock_cases.cpp.o.d"
+  "table1_deadlock_cases"
+  "table1_deadlock_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_deadlock_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

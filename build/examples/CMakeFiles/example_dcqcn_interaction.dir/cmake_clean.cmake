@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dcqcn_interaction.dir/dcqcn_interaction.cpp.o"
+  "CMakeFiles/example_dcqcn_interaction.dir/dcqcn_interaction.cpp.o.d"
+  "example_dcqcn_interaction"
+  "example_dcqcn_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dcqcn_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

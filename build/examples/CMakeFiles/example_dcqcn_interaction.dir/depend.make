@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dcqcn_interaction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deadlock_ring.dir/deadlock_ring.cpp.o"
+  "CMakeFiles/example_deadlock_ring.dir/deadlock_ring.cpp.o.d"
+  "example_deadlock_ring"
+  "example_deadlock_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deadlock_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

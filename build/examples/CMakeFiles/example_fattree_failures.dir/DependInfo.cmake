@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fattree_failures.cpp" "examples/CMakeFiles/example_fattree_failures.dir/fattree_failures.cpp.o" "gcc" "examples/CMakeFiles/example_fattree_failures.dir/fattree_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fattree_failures.dir/fattree_failures.cpp.o"
+  "CMakeFiles/example_fattree_failures.dir/fattree_failures.cpp.o.d"
+  "example_fattree_failures"
+  "example_fattree_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fattree_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parameter_explorer.dir/parameter_explorer.cpp.o"
+  "CMakeFiles/example_parameter_explorer.dir/parameter_explorer.cpp.o.d"
+  "example_parameter_explorer"
+  "example_parameter_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parameter_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

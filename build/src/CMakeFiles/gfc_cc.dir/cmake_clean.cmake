@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_cc.dir/cc/dcqcn.cpp.o"
+  "CMakeFiles/gfc_cc.dir/cc/dcqcn.cpp.o.d"
+  "libgfc_cc.a"
+  "libgfc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

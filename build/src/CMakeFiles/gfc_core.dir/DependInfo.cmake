@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gfc_buffer.cpp" "src/CMakeFiles/gfc_core.dir/core/gfc_buffer.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/gfc_buffer.cpp.o.d"
+  "/root/repo/src/core/gfc_conceptual.cpp" "src/CMakeFiles/gfc_core.dir/core/gfc_conceptual.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/gfc_conceptual.cpp.o.d"
+  "/root/repo/src/core/gfc_time.cpp" "src/CMakeFiles/gfc_core.dir/core/gfc_time.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/gfc_time.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/CMakeFiles/gfc_core.dir/core/mapping.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/mapping.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/gfc_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/rate_limiter.cpp" "src/CMakeFiles/gfc_core.dir/core/rate_limiter.cpp.o" "gcc" "src/CMakeFiles/gfc_core.dir/core/rate_limiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

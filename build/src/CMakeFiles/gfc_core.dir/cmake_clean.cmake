@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_core.dir/core/gfc_buffer.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/gfc_buffer.cpp.o.d"
+  "CMakeFiles/gfc_core.dir/core/gfc_conceptual.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/gfc_conceptual.cpp.o.d"
+  "CMakeFiles/gfc_core.dir/core/gfc_time.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/gfc_time.cpp.o.d"
+  "CMakeFiles/gfc_core.dir/core/mapping.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/mapping.cpp.o.d"
+  "CMakeFiles/gfc_core.dir/core/params.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/gfc_core.dir/core/rate_limiter.cpp.o"
+  "CMakeFiles/gfc_core.dir/core/rate_limiter.cpp.o.d"
+  "libgfc_core.a"
+  "libgfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowctl/cbfc.cpp" "src/CMakeFiles/gfc_flowctl.dir/flowctl/cbfc.cpp.o" "gcc" "src/CMakeFiles/gfc_flowctl.dir/flowctl/cbfc.cpp.o.d"
+  "/root/repo/src/flowctl/flow_control.cpp" "src/CMakeFiles/gfc_flowctl.dir/flowctl/flow_control.cpp.o" "gcc" "src/CMakeFiles/gfc_flowctl.dir/flowctl/flow_control.cpp.o.d"
+  "/root/repo/src/flowctl/pfc.cpp" "src/CMakeFiles/gfc_flowctl.dir/flowctl/pfc.cpp.o" "gcc" "src/CMakeFiles/gfc_flowctl.dir/flowctl/pfc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

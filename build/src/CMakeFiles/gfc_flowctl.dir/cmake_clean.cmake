@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_flowctl.dir/flowctl/cbfc.cpp.o"
+  "CMakeFiles/gfc_flowctl.dir/flowctl/cbfc.cpp.o.d"
+  "CMakeFiles/gfc_flowctl.dir/flowctl/flow_control.cpp.o"
+  "CMakeFiles/gfc_flowctl.dir/flowctl/flow_control.cpp.o.d"
+  "CMakeFiles/gfc_flowctl.dir/flowctl/pfc.cpp.o"
+  "CMakeFiles/gfc_flowctl.dir/flowctl/pfc.cpp.o.d"
+  "libgfc_flowctl.a"
+  "libgfc_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gfc_flowctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/gfc_net.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/gfc_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/gfc_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/gfc_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/gfc_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/CMakeFiles/gfc_net.dir/net/port.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/port.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/gfc_net.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/gfc_net.dir/net/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

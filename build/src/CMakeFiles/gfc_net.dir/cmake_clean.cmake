@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_net.dir/net/channel.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/host.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/network.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/node.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/packet.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/port.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/port.cpp.o.d"
+  "CMakeFiles/gfc_net.dir/net/switch.cpp.o"
+  "CMakeFiles/gfc_net.dir/net/switch.cpp.o.d"
+  "libgfc_net.a"
+  "libgfc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

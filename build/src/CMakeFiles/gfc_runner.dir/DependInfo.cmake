@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/config.cpp" "src/CMakeFiles/gfc_runner.dir/runner/config.cpp.o" "gcc" "src/CMakeFiles/gfc_runner.dir/runner/config.cpp.o.d"
+  "/root/repo/src/runner/fabric.cpp" "src/CMakeFiles/gfc_runner.dir/runner/fabric.cpp.o" "gcc" "src/CMakeFiles/gfc_runner.dir/runner/fabric.cpp.o.d"
+  "/root/repo/src/runner/scenarios.cpp" "src/CMakeFiles/gfc_runner.dir/runner/scenarios.cpp.o" "gcc" "src/CMakeFiles/gfc_runner.dir/runner/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_runner.dir/runner/config.cpp.o"
+  "CMakeFiles/gfc_runner.dir/runner/config.cpp.o.d"
+  "CMakeFiles/gfc_runner.dir/runner/fabric.cpp.o"
+  "CMakeFiles/gfc_runner.dir/runner/fabric.cpp.o.d"
+  "CMakeFiles/gfc_runner.dir/runner/scenarios.cpp.o"
+  "CMakeFiles/gfc_runner.dir/runner/scenarios.cpp.o.d"
+  "libgfc_runner.a"
+  "libgfc_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

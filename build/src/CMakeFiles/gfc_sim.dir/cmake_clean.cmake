@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_sim.dir/sim/logger.cpp.o"
+  "CMakeFiles/gfc_sim.dir/sim/logger.cpp.o.d"
+  "CMakeFiles/gfc_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/gfc_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/gfc_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/gfc_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/gfc_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/gfc_sim.dir/sim/time.cpp.o.d"
+  "libgfc_sim.a"
+  "libgfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/gfc_stats.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/gfc_stats.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/deadlock.cpp" "src/CMakeFiles/gfc_stats.dir/stats/deadlock.cpp.o" "gcc" "src/CMakeFiles/gfc_stats.dir/stats/deadlock.cpp.o.d"
+  "/root/repo/src/stats/feedback.cpp" "src/CMakeFiles/gfc_stats.dir/stats/feedback.cpp.o" "gcc" "src/CMakeFiles/gfc_stats.dir/stats/feedback.cpp.o.d"
+  "/root/repo/src/stats/flow_stats.cpp" "src/CMakeFiles/gfc_stats.dir/stats/flow_stats.cpp.o" "gcc" "src/CMakeFiles/gfc_stats.dir/stats/flow_stats.cpp.o.d"
+  "/root/repo/src/stats/throughput.cpp" "src/CMakeFiles/gfc_stats.dir/stats/throughput.cpp.o" "gcc" "src/CMakeFiles/gfc_stats.dir/stats/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_stats.dir/stats/cdf.cpp.o"
+  "CMakeFiles/gfc_stats.dir/stats/cdf.cpp.o.d"
+  "CMakeFiles/gfc_stats.dir/stats/deadlock.cpp.o"
+  "CMakeFiles/gfc_stats.dir/stats/deadlock.cpp.o.d"
+  "CMakeFiles/gfc_stats.dir/stats/feedback.cpp.o"
+  "CMakeFiles/gfc_stats.dir/stats/feedback.cpp.o.d"
+  "CMakeFiles/gfc_stats.dir/stats/flow_stats.cpp.o"
+  "CMakeFiles/gfc_stats.dir/stats/flow_stats.cpp.o.d"
+  "CMakeFiles/gfc_stats.dir/stats/throughput.cpp.o"
+  "CMakeFiles/gfc_stats.dir/stats/throughput.cpp.o.d"
+  "libgfc_stats.a"
+  "libgfc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgfc_stats.a"
+)

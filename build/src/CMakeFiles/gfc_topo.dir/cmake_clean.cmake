@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_topo.dir/topo/builders.cpp.o"
+  "CMakeFiles/gfc_topo.dir/topo/builders.cpp.o.d"
+  "CMakeFiles/gfc_topo.dir/topo/cbd.cpp.o"
+  "CMakeFiles/gfc_topo.dir/topo/cbd.cpp.o.d"
+  "CMakeFiles/gfc_topo.dir/topo/routing.cpp.o"
+  "CMakeFiles/gfc_topo.dir/topo/routing.cpp.o.d"
+  "CMakeFiles/gfc_topo.dir/topo/scenario_gen.cpp.o"
+  "CMakeFiles/gfc_topo.dir/topo/scenario_gen.cpp.o.d"
+  "CMakeFiles/gfc_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/gfc_topo.dir/topo/topology.cpp.o.d"
+  "libgfc_topo.a"
+  "libgfc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

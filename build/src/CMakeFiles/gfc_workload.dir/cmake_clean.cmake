@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_workload.dir/workload/empirical.cpp.o"
+  "CMakeFiles/gfc_workload.dir/workload/empirical.cpp.o.d"
+  "CMakeFiles/gfc_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/gfc_workload.dir/workload/generator.cpp.o.d"
+  "libgfc_workload.a"
+  "libgfc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc_test.cpp" "tests/CMakeFiles/gfc_tests.dir/cc_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/cc_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/gfc_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/flowctl_test.cpp" "tests/CMakeFiles/gfc_tests.dir/flowctl_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/flowctl_test.cpp.o.d"
+  "/root/repo/tests/integration_fattree_test.cpp" "tests/CMakeFiles/gfc_tests.dir/integration_fattree_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/integration_fattree_test.cpp.o.d"
+  "/root/repo/tests/integration_incast_test.cpp" "tests/CMakeFiles/gfc_tests.dir/integration_incast_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/integration_incast_test.cpp.o.d"
+  "/root/repo/tests/integration_ring_test.cpp" "tests/CMakeFiles/gfc_tests.dir/integration_ring_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/integration_ring_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/gfc_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/gfc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/gfc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/gfc_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/theorem_test.cpp" "tests/CMakeFiles/gfc_tests.dir/theorem_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/theorem_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/gfc_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/gfc_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/gfc_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfc_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gfc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfc_tests.dir/cc_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/cc_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/core_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/flowctl_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/flowctl_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/integration_fattree_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/integration_fattree_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/integration_incast_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/integration_incast_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/integration_ring_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/integration_ring_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/net_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/net_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/property_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/stats_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/stats_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/theorem_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/theorem_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/topo_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/topo_test.cpp.o.d"
+  "CMakeFiles/gfc_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/gfc_tests.dir/workload_test.cpp.o.d"
+  "gfc_tests"
+  "gfc_tests.pdb"
+  "gfc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
