@@ -1,22 +1,21 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
 #include <utility>
 
 namespace gfc::sim {
 
 EventId Scheduler::schedule_at(TimePs t, Callback fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  if (t < now_) t = now_;
+  if (t < now_) t = now_;  // past-dated events fire at now()
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
   return EventId{id};
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid() || id.value >= next_id_) return false;
-  // Lazy cancellation: remember the id; skip it when popped.
-  return cancelled_.insert(id.value).second;
+  // Lazy cancellation: forget the id; the heap entry is skipped when popped.
+  // Fired, already-cancelled and never-issued ids are all absent.
+  return id.valid() && pending_.erase(id.value) != 0;
 }
 
 void Scheduler::fire_top() {
@@ -24,10 +23,7 @@ void Scheduler::fire_top() {
   // new events and reallocate the heap.
   Entry top = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
-  }
+  if (pending_.erase(top.id) == 0) return;  // cancelled
   now_ = top.t;
   ++executed_;
   top.fn();
@@ -35,9 +31,9 @@ void Scheduler::fire_top() {
 
 bool Scheduler::step() {
   while (!heap_.empty()) {
-    const bool was_cancelled = cancelled_.contains(heap_.top().id);
+    const bool live = pending_.contains(heap_.top().id);
     fire_top();
-    if (!was_cancelled) return true;
+    if (live) return true;
   }
   return false;
 }

@@ -27,7 +27,9 @@ class Scheduler {
   /// Current simulation time. Monotonically non-decreasing.
   TimePs now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  /// Schedule `fn` at absolute time `t`. A `t` in the past is clamped to
+  /// now(): the event fires "immediately", after the currently-executing
+  /// event, before any later-stamped event.
   EventId schedule_at(TimePs t, Callback fn);
 
   /// Schedule `fn` after `delay` from now.
@@ -39,9 +41,12 @@ class Scheduler {
   /// no-op; returns whether the event was still pending.
   bool cancel(EventId id);
 
-  /// Run events until the queue empties or `t_end` is passed. The clock is
-  /// left at min(t_end, last event time); events stamped exactly `t_end`
-  /// are executed.
+  /// Run events until the queue empties or `t_end` is passed; events
+  /// stamped exactly `t_end` are executed. The clock is left at t_end
+  /// (even if the queue empties earlier) unless a callback calls
+  /// request_stop(), in which case it stays at the last executed event's
+  /// time. run_until into the past (t_end < now()) runs nothing and leaves
+  /// the clock untouched.
   void run_until(TimePs t_end);
 
   /// Run until the queue is empty.
@@ -53,7 +58,7 @@ class Scheduler {
   /// Request that run_until/run_all return after the current event.
   void request_stop() { stop_requested_ = true; }
 
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return pending_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
@@ -73,7 +78,11 @@ class Scheduler {
   void fire_top();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Ids of scheduled-but-not-yet-fired, not-cancelled events. cancel()
+  // erases from here (lazily leaving the heap entry in place); the pop path
+  // skips entries whose id is gone. Membership is the single source of
+  // truth for "still pending", so cancelling a fired id is a clean no-op.
+  std::unordered_set<std::uint64_t> pending_;
   TimePs now_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,99 @@
+// Determinism regression tests: identical seeds must give bit-identical
+// runs. These pin the engine-level guarantees (same-timestamp FIFO firing,
+// stable event ids) that make every paper figure reproducible, and must
+// keep passing unchanged across event-engine rewrites.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "runner/scenarios.hpp"
+#include "stats/deadlock.hpp"
+
+namespace gfc::runner {
+namespace {
+
+using sim::ms;
+
+// Compare doubles as bit patterns: determinism means byte-identical, not
+// merely approximately equal.
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+struct FatTreeResult {
+  RunSummary summary;
+  std::uint64_t executed_events;
+  std::uint64_t packets_created;
+};
+
+FatTreeResult run_fattree_once() {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,
+                           cfg.link.rate, cfg.tau());
+  FatTreeScenario s = make_random_fattree(cfg, 4, 0.05, /*topo_seed=*/17);
+  RunOptions opts;
+  opts.duration = ms(6);
+  opts.workload_seed = 42;
+  FatTreeResult r;
+  r.summary = run_closed_loop(s, opts);
+  r.executed_events = s.fabric->net().sched().executed_events();
+  r.packets_created = s.fabric->net().pool().total_created();
+  return r;
+}
+
+TEST(Determinism, FatTreeClosedLoopRunsAreByteIdentical) {
+  const FatTreeResult a = run_fattree_once();
+  const FatTreeResult b = run_fattree_once();
+  // Every RunSummary field, including float metrics at the bit level.
+  EXPECT_EQ(a.summary.deadlocked, b.summary.deadlocked);
+  EXPECT_EQ(a.summary.deadlock_at, b.summary.deadlock_at);
+  EXPECT_EQ(bits(a.summary.per_host_gbps), bits(b.summary.per_host_gbps));
+  EXPECT_EQ(bits(a.summary.mean_slowdown), bits(b.summary.mean_slowdown));
+  EXPECT_EQ(a.summary.flows_completed, b.summary.flows_completed);
+  EXPECT_EQ(a.summary.flows_started, b.summary.flows_started);
+  EXPECT_EQ(a.summary.lossless_violations, b.summary.lossless_violations);
+  // The engine executed the exact same event sequence, not just one that
+  // produced similar aggregates.
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.packets_created, b.packets_created);
+}
+
+struct RingVerdict {
+  bool deadlocked;
+  sim::TimePs detected_at;
+  std::uint64_t executed_events;
+  std::uint64_t data_packets;
+};
+
+RingVerdict run_ring_once(FcKind kind) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  RingScenario s = make_ring(cfg, /*n_switches=*/3, /*hops=*/2);
+  stats::DeadlockDetector det(s.fabric->net());
+  s.fabric->net().run_until(ms(25));
+  return RingVerdict{det.deadlocked(), det.detected_at(),
+                     s.fabric->net().sched().executed_events(),
+                     s.fabric->net().counters().data_packets_delivered};
+}
+
+TEST(Determinism, RingDeadlockVerdictsStableAcrossRepeats) {
+  // Figure 9 setting: PFC rings deadlock, GFC rings never do. Repeated
+  // runs must agree on the verdict, the detection time, and the exact
+  // event count.
+  for (FcKind kind : {FcKind::kPfc, FcKind::kGfcBuffer}) {
+    const RingVerdict first = run_ring_once(kind);
+    EXPECT_EQ(first.deadlocked, kind == FcKind::kPfc) << fc_name(kind);
+    for (int rep = 0; rep < 2; ++rep) {
+      const RingVerdict again = run_ring_once(kind);
+      EXPECT_EQ(again.deadlocked, first.deadlocked) << fc_name(kind);
+      EXPECT_EQ(again.detected_at, first.detected_at) << fc_name(kind);
+      EXPECT_EQ(again.executed_events, first.executed_events) << fc_name(kind);
+      EXPECT_EQ(again.data_packets, first.data_packets) << fc_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfc::runner

@@ -165,6 +165,191 @@ TEST(Scheduler, PendingAndExecutedCounts) {
   EXPECT_EQ(sched.executed_events(), 1u);
 }
 
+// --- Pinned engine semantics -----------------------------------------------
+// These tests freeze the observable contract of the scheduler so the engine
+// can be rewritten for speed without behavior drift. They were written and
+// passing against the pre-rewrite std::function/unordered_set engine and must
+// pass unchanged against any successor.
+
+TEST(SchedulerPinned, SameTimestampFifoSurvivesInterleavedCancels) {
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i)
+    ids.push_back(sched.schedule_at(us(1), [&order, i] { order.push_back(i); }));
+  // Cancel every third event; the survivors must still fire in schedule order.
+  for (int i = 0; i < 16; i += 3) EXPECT_TRUE(sched.cancel(ids[static_cast<size_t>(i)]));
+  sched.run_all();
+  std::vector<int> expect;
+  for (int i = 0; i < 16; ++i)
+    if (i % 3 != 0) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(SchedulerPinned, EventScheduledAtCurrentTimestampFiresAfterExistingOnes) {
+  // An event scheduled *during* timestamp t at timestamp t gets a higher id
+  // than everything already queued at t, so it fires last within t.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(us(1), [&] {
+    order.push_back(0);
+    sched.schedule_at(us(1), [&] { order.push_back(9); });
+  });
+  sched.schedule_at(us(1), [&] { order.push_back(1); });
+  sched.schedule_at(us(1), [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+  EXPECT_EQ(sched.now(), us(1));
+}
+
+TEST(SchedulerPinned, CancelOfFiredIdReturnsFalse) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(us(1), [] {});
+  sched.run_all();
+  EXPECT_FALSE(sched.cancel(id));  // already fired: clean no-op
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerPinned, CancelOfNeverIssuedOrDefaultIdReturnsFalse) {
+  Scheduler sched;
+  sched.schedule_at(us(1), [] {});
+  EXPECT_FALSE(sched.cancel(EventId{}));            // default/invalid
+  EXPECT_FALSE(sched.cancel(EventId{0xDEADBEEF}));  // never issued
+  EXPECT_EQ(sched.pending_events(), 1u);
+}
+
+TEST(SchedulerPinned, CancelFromInsideOwnCallbackReturnsFalse) {
+  Scheduler sched;
+  bool cancel_result = true;
+  EventId self{};
+  self = sched.schedule_at(us(1), [&] { cancel_result = sched.cancel(self); });
+  sched.run_all();
+  EXPECT_FALSE(cancel_result);  // the event is no longer pending while it runs
+}
+
+TEST(SchedulerPinned, PendingEventsAccountingWithCancellations) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(sched.schedule_at(us(i + 1), [] {}));
+  EXPECT_EQ(sched.pending_events(), 8u);
+  EXPECT_TRUE(sched.cancel(ids[2]));
+  EXPECT_TRUE(sched.cancel(ids[5]));
+  EXPECT_EQ(sched.pending_events(), 6u);
+  EXPECT_FALSE(sched.cancel(ids[2]));  // double-cancel does not double-count
+  EXPECT_EQ(sched.pending_events(), 6u);
+  EXPECT_TRUE(sched.step());  // fires event 0
+  EXPECT_EQ(sched.pending_events(), 5u);
+  EXPECT_FALSE(sched.cancel(ids[0]));  // fired id: count must not move
+  EXPECT_EQ(sched.pending_events(), 5u);
+  sched.run_all();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_EQ(sched.executed_events(), 6u);
+}
+
+TEST(SchedulerPinned, RunUntilClockSemantics) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(us(3), [&] { ++fired; });
+  // Queue empties before the horizon: clock still advances to t_end.
+  sched.run_until(us(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), us(10));
+  // Horizon in the past: nothing runs, clock untouched.
+  sched.run_until(us(5));
+  EXPECT_EQ(sched.now(), us(10));
+  // Empty queue: clock advances to the new horizon.
+  sched.run_until(us(12));
+  EXPECT_EQ(sched.now(), us(12));
+}
+
+TEST(SchedulerPinned, RunUntilStoppedLeavesClockAtLastEvent) {
+  Scheduler sched;
+  sched.schedule_at(us(2), [&] { sched.request_stop(); });
+  sched.schedule_at(us(4), [] {});
+  sched.run_until(us(10));
+  // Stopped mid-run: now() stays at the last executed event, not t_end.
+  EXPECT_EQ(sched.now(), us(2));
+  EXPECT_EQ(sched.pending_events(), 1u);
+}
+
+TEST(SchedulerPinned, RequestStopReturnsAfterCurrentEventOnly) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(us(1), [&] {
+    order.push_back(1);
+    sched.request_stop();
+    // Same-timestamp successor must NOT run in this pass.
+  });
+  sched.schedule_at(us(1), [&] { order.push_back(2); });
+  sched.schedule_at(us(2), [&] { order.push_back(3); });
+  sched.run_until(us(10));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.pending_events(), 2u);
+  sched.run_all();  // a fresh run clears the stop flag and drains the rest
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerPinned, RequestStopHaltsRunAll) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(us(1), [&] {
+    ++fired;
+    sched.request_stop();
+  });
+  sched.schedule_at(us(2), [&] { ++fired; });
+  sched.run_all();
+  EXPECT_EQ(fired, 1);
+  sched.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerPinned, ScheduleInThePastClampsToNow) {
+  Scheduler sched;
+  sched.schedule_at(us(5), [] {});
+  sched.run_until(us(5));
+  ASSERT_EQ(sched.now(), us(5));
+  std::vector<int> order;
+  sched.schedule_at(us(1), [&] { order.push_back(1); });  // past: clamps to 5us
+  sched.schedule_at(us(5), [&] { order.push_back(2); });
+  sched.schedule_at(us(6), [&] { order.push_back(3); });
+  sched.run_all();
+  // The clamped event keeps its schedule-order position at now().
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), us(6));
+}
+
+TEST(SchedulerPinned, ScheduleInPastFromCallbackFiresSameTimestamp) {
+  Scheduler sched;
+  std::vector<TimePs> stamps;
+  sched.schedule_at(us(4), [&] {
+    // delay "before now" from inside a callback clamps to the current time.
+    sched.schedule_at(us(1), [&] { stamps.push_back(sched.now()); });
+  });
+  sched.run_all();
+  ASSERT_EQ(stamps.size(), 1u);
+  EXPECT_EQ(stamps[0], us(4));
+}
+
+TEST(SchedulerPinned, StepReturnsFalseWhenOnlyCancelledEventsRemain) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(us(1), [] {});
+  const EventId b = sched.schedule_at(us(2), [] {});
+  sched.cancel(a);
+  sched.cancel(b);
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.executed_events(), 0u);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerPinned, ExecutedEventsCountsOnlyRealFirings) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(sched.schedule_at(us(1), [] {}));
+  for (int i = 0; i < 10; i += 2) sched.cancel(ids[static_cast<size_t>(i)]);
+  sched.run_all();
+  EXPECT_EQ(sched.executed_events(), 5u);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(7), b(7);
   for (int i = 0; i < 100; ++i)
