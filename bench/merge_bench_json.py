@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Merge one google-benchmark JSON output into the tracked BENCH file.
+
+Usage: merge_bench_json.py <bench_file> <label> <commit> <gbench_json>
+
+The tracked file holds a list of labeled runs (one per engine/stage), each
+carrying the google-benchmark context and the aggregate benchmark entries,
+so before/after comparisons live side by side in a single reviewable file.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    bench_file, label, commit, gbench_json = sys.argv[1:5]
+
+    with open(gbench_json) as f:
+        raw = json.load(f)
+
+    run = {
+        "label": label,
+        "commit": commit,
+        "date": raw.get("context", {}).get("date", ""),
+        "context": {
+            k: raw.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type")
+        },
+        # Keep only the per-benchmark aggregates; drop per-iteration noise.
+        "benchmarks": [
+            {
+                k: b[k]
+                for k in ("name", "iterations", "real_time", "cpu_time",
+                          "time_unit", "items_per_second", "label")
+                if k in b
+            }
+            for b in raw.get("benchmarks", [])
+        ],
+    }
+
+    try:
+        with open(bench_file) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        doc = {"schema": "gfc-bench-v1", "benchmark": "microbench", "runs": []}
+
+    doc["runs"] = [r for r in doc["runs"] if r.get("label") != label] + [run]
+
+    with open(bench_file, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

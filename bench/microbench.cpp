@@ -25,6 +25,41 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerScheduleRun);
 
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  // Models egress-port wake-timer churn: schedule a wake, cancel it on the
+  // next state change, reschedule — the dominant scheduler op pattern in
+  // EgressPort::try_transmit().
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    long fired = 0;
+    sim::EventId pending{};
+    for (int i = 0; i < 1000; ++i) {
+      if (pending.valid()) sched.cancel(pending);
+      pending = sched.schedule_at(sim::us(i + 100), [&fired] { ++fired; });
+      if (i % 8 == 0) sched.run_until(sim::us(i));
+    }
+    sched.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelChurn);
+
+void BM_SchedulerSameTimestampBurst(benchmark::State& state) {
+  // Many events sharing few distinct timestamps: exercises the FIFO
+  // tie-break and the same-timestamp pop batching in run_until.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    long sum = 0;
+    for (int i = 0; i < 1000; ++i)
+      sched.schedule_at(sim::us(i / 100), [&sum, i] { sum += i; });
+    sched.run_until(sim::us(10));
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSameTimestampBurst);
+
 void BM_PacketPoolCycle(benchmark::State& state) {
   net::PacketPool pool;
   for (auto _ : state) {
@@ -59,7 +94,9 @@ void BM_FatTreeRouting(benchmark::State& state) {
 BENCHMARK(BM_FatTreeRouting)->Arg(4)->Arg(8);
 
 void BM_RingSimulationGfc(benchmark::State& state) {
-  // End-to-end: packets simulated per second of wall time.
+  // End-to-end Figure 9 ring: scheduler events executed per second of wall
+  // time (items/s), with delivered data packets as a sanity counter.
+  std::uint64_t events = 0;
   std::int64_t bytes = 0;
   for (auto _ : state) {
     runner::ScenarioConfig cfg;
@@ -68,11 +105,39 @@ void BM_RingSimulationGfc(benchmark::State& state) {
                                      cfg.tau());
     auto s = runner::make_ring(cfg);
     s.fabric->net().run_until(sim::ms(2));
+    events += s.fabric->net().sched().executed_events();
     bytes += s.fabric->net().counters().data_bytes_delivered;
   }
-  state.SetItemsProcessed(bytes / 1500);
-  state.SetLabel("data packets delivered");
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["data_packets_per_second"] = benchmark::Counter(
+      static_cast<double>(bytes) / 1500.0, benchmark::Counter::kIsRate);
+  state.SetLabel("scheduler events executed");
 }
 BENCHMARK(BM_RingSimulationGfc);
+
+void BM_FatTreeClosedLoopGfc(benchmark::State& state) {
+  // End-to-end k=8 fat-tree (128 hosts) closed-loop empirical workload:
+  // scheduler events executed per second of wall time.
+  std::uint64_t events = 0;
+  std::uint64_t flows = 0;
+  for (auto _ : state) {
+    runner::ScenarioConfig cfg;
+    cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                     cfg.switch_buffer, cfg.link.rate,
+                                     cfg.tau());
+    auto s = runner::make_fattree(cfg, 8);
+    runner::RunOptions opts;
+    opts.duration = sim::ms(1);
+    opts.warmup = sim::us(200);
+    const runner::RunSummary r = runner::run_closed_loop(s, opts);
+    events += s.fabric->net().sched().executed_events();
+    flows += r.flows_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["flows_completed"] =
+      benchmark::Counter(static_cast<double>(flows));
+  state.SetLabel("scheduler events executed");
+}
+BENCHMARK(BM_FatTreeClosedLoopGfc)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the engine microbenchmarks and record the results under a label in
+# BENCH_microbench.json at the repo root (the tracked perf-trajectory file).
+#
+# Usage: bench/run_microbench.sh <label> [build-dir] [extra benchmark args...]
+#   e.g. bench/run_microbench.sh pre-rewrite
+#        bench/run_microbench.sh pooled-engine build --benchmark_filter='BM_Scheduler.*'
+#
+# Re-running with an existing label replaces that run in place, so the file
+# keeps exactly one entry per engine/stage.
+set -euo pipefail
+
+label="${1:?usage: run_microbench.sh <label> [build-dir] [extra args...]}"
+build="${2:-build}"
+shift $(( $# >= 2 ? 2 : 1 ))
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="$root/$build/bench/microbench"
+[[ -x "$bin" ]] || { echo "error: $bin not built (cmake --build $build)" >&2; exit 1; }
+
+scratch="$(mktemp --suffix=.bench.json)"
+trap 'rm -f "$scratch"' EXIT
+
+"$bin" \
+  --benchmark_format=console \
+  --benchmark_out="$scratch" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.5 \
+  "$@"
+
+commit="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+python3 "$root/bench/merge_bench_json.py" \
+  "$root/BENCH_microbench.json" "$label" "$commit" "$scratch"
+echo "recorded run '$label' (commit $commit) -> BENCH_microbench.json"
