@@ -69,17 +69,35 @@ void EgressPort::enqueue_control(Packet* pkt) {
 
 void EgressPort::kick() { try_transmit(); }
 
-void EgressPort::try_transmit() {
-  if (in_flight_ != nullptr) return;
-  // A pending wake timer is now redundant: either we start transmitting, or
-  // we recompute the earliest wake below.
+void EgressPort::cancel_wake() {
   if (wake_event_.valid()) {
     sched().cancel(wake_event_);
     wake_event_ = {};
   }
+  wake_at_ = sim::kTimeNever;
+}
+
+void EgressPort::set_wake(sim::TimePs wake_at) {
+  if (wake_event_.valid()) {
+    if (wake_at == wake_at_) return;  // timer already armed for that instant
+    sched().cancel(wake_event_);
+    wake_event_ = {};
+  }
+  wake_at_ = wake_at;
+  if (wake_at == sim::kTimeNever) return;
+  wake_event_ = sched().schedule_at(wake_at, [this] {
+    wake_event_ = {};
+    wake_at_ = sim::kTimeNever;
+    try_transmit();
+  });
+}
+
+void EgressPort::try_transmit() {
+  if (in_flight_ != nullptr) return;
 
   // Control frames bypass data queues and all gating.
   if (!control_q_.empty()) {
+    cancel_wake();
     Packet* pkt = control_q_.front();
     control_q_.pop_front();
     start_tx(pkt, /*control=*/true);
@@ -94,12 +112,10 @@ void EgressPort::try_transmit() {
     Packet* pkt = owner_.poll_data(index_, now, &wake_at, /*consume=*/true,
                                    &any_waiting);
     if (pkt != nullptr) {
+      cancel_wake();
       start_tx(pkt, /*control=*/false);
-    } else if (wake_at != sim::kTimeNever) {
-      wake_event_ = sched().schedule_at(wake_at, [this] {
-        wake_event_ = {};
-        try_transmit();
-      });
+    } else {
+      set_wake(wake_at);
     }
     return;
   }
@@ -118,18 +134,14 @@ void EgressPort::try_transmit() {
       --pq.packets;
       pq.rr = (bucket + 1) % pq.buckets.size();
       rr_prio_ = (prio + 1) % kNumPriorities;
+      cancel_wake();
       start_tx(pkt, /*control=*/false);
       return;
     }
   }
 
-  if (wake_at != sim::kTimeNever) {
-    assert(wake_at >= now);
-    wake_event_ = sched().schedule_at(wake_at, [this] {
-      wake_event_ = {};
-      try_transmit();
-    });
-  }
+  assert(wake_at == sim::kTimeNever || wake_at >= now);
+  set_wake(wake_at);
 }
 
 bool EgressPort::probe_hold_and_wait(sim::TimePs now) {

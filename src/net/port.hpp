@@ -122,6 +122,14 @@ class EgressPort {
   void complete_tx();
   sim::Scheduler& sched();
 
+  /// Drop any pending wake timer.
+  void cancel_wake();
+  /// Arm (or keep) the wake timer for `wake_at`; kTimeNever disarms. A
+  /// pending timer for the same instant is kept instead of being
+  /// cancel/re-scheduled — gate kicks that do not change the wake time are
+  /// common and the churn is measurable (BM_SchedulerCancelChurn).
+  void set_wake(sim::TimePs wake_at);
+
   Node& owner_;
   int index_;
   sim::Rate rate_;
@@ -135,6 +143,7 @@ class EgressPort {
   Packet* in_flight_ = nullptr;
   bool in_flight_control_ = false;
   sim::EventId wake_event_{};
+  sim::TimePs wake_at_ = sim::kTimeNever;  // instant wake_event_ fires at
 
   std::uint64_t tx_data_bytes_ = 0;
   std::uint64_t tx_control_bytes_ = 0;

@@ -1,39 +1,106 @@
 #include "sim/scheduler.hpp"
 
-#include <utility>
-
 namespace gfc::sim {
 
-EventId Scheduler::schedule_at(TimePs t, Callback fn) {
-  if (t < now_) t = now_;  // past-dated events fire at now()
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  return EventId{id};
+Scheduler::~Scheduler() {
+  // Destroy the callbacks of still-pending events (cancelled entries fail
+  // the generation check and were already destroyed at cancel time).
+  for (const HeapEntry& e : heap_) {
+    Slot& s = *slot_ptr(e.slot);
+    if (s.gen == e.gen && s.destroy != nullptr) s.destroy(s.storage);
+  }
+}
+
+std::uint32_t Scheduler::alloc_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slot_ptr(idx)->next_free;
+    return idx;
+  }
+  if (slots_used_ == chunks_.size() * kSlotsPerChunk)
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+  return slots_used_++;
+}
+
+void Scheduler::release_slot(std::uint32_t idx, Slot& s) {
+  if (++s.gen == 0) s.gen = 1;  // invalidate ids; tag is never 0
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void Scheduler::push_entry(HeapEntry e) {
+  // Hole-based sift-up: copy parents down, write `e` once.
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+Scheduler::HeapEntry Scheduler::pop_top() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    // Hole-based sift-down of `last` from the root of the 4-ary heap.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t min_child = first_child;
+      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (earlier(heap_[c], heap_[min_child])) min_child = c;
+      if (!earlier(heap_[min_child], last)) break;
+      heap_[i] = heap_[min_child];
+      i = min_child;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Scheduler::execute(const HeapEntry& e) {
+  Slot& s = *slot_ptr(e.slot);
+  ++executed_;
+  --live_;
+  // Invalidate the id before invoking, so cancel() of the running event
+  // from inside its own callback is a clean "no longer pending" no-op —
+  // but keep the slot off the free list until the callback (which may
+  // schedule new events into other slots) has finished and been destroyed.
+  if (++s.gen == 0) s.gen = 1;
+  s.run(s.storage);
+  s.next_free = free_head_;
+  free_head_ = e.slot;
 }
 
 bool Scheduler::cancel(EventId id) {
-  // Lazy cancellation: forget the id; the heap entry is skipped when popped.
-  // Fired, already-cancelled and never-issued ids are all absent.
-  return id.valid() && pending_.erase(id.value) != 0;
-}
-
-void Scheduler::fire_top() {
-  // Move the callback out before executing: the callback may schedule
-  // new events and reallocate the heap.
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  if (pending_.erase(top.id) == 0) return;  // cancelled
-  now_ = top.t;
-  ++executed_;
-  top.fn();
+  if (!id.valid()) return false;
+  const std::uint32_t low = static_cast<std::uint32_t>(id.value);
+  if (low == 0 || low > slots_used_) return false;
+  const std::uint32_t idx = low - 1;
+  Slot& s = *slot_ptr(idx);
+  if (s.gen != static_cast<std::uint32_t>(id.value >> 32)) return false;
+  // Still pending: destroy the callback and retire the slot now. The heap
+  // entry stays behind; its stale generation tag gets it skipped on pop.
+  if (s.destroy != nullptr) s.destroy(s.storage);
+  release_slot(idx, s);
+  --live_;
+  return true;
 }
 
 bool Scheduler::step() {
   while (!heap_.empty()) {
-    const bool live = pending_.contains(heap_.top().id);
-    fire_top();
-    if (live) return true;
+    const HeapEntry e = pop_top();
+    if (slot_ptr(e.slot)->gen != e.gen) continue;  // cancelled
+    now_ = e.t;
+    execute(e);
+    return true;
   }
   return false;
 }
@@ -41,15 +108,32 @@ bool Scheduler::step() {
 void Scheduler::run_until(TimePs t_end) {
   stop_requested_ = false;
   while (!heap_.empty() && !stop_requested_) {
-    if (heap_.top().t > t_end) break;
-    fire_top();
+    const TimePs t = heap_.front().t;
+    if (t > t_end) break;
+    // Drain the whole same-timestamp batch without re-checking the
+    // horizon: anything scheduled at `t` during the batch (necessarily
+    // with a higher sequence number) joins the same drain.
+    do {
+      const HeapEntry e = pop_top();
+      if (slot_ptr(e.slot)->gen != e.gen) continue;  // cancelled
+      now_ = t;
+      execute(e);
+    } while (!stop_requested_ && !heap_.empty() && heap_.front().t == t);
   }
   if (now_ < t_end && !stop_requested_) now_ = t_end;
 }
 
 void Scheduler::run_all() {
   stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) fire_top();
+  while (!heap_.empty() && !stop_requested_) {
+    const TimePs t = heap_.front().t;
+    do {
+      const HeapEntry e = pop_top();
+      if (slot_ptr(e.slot)->gen != e.gen) continue;
+      now_ = t;
+      execute(e);
+    } while (!stop_requested_ && !heap_.empty() && heap_.front().t == t);
+  }
 }
 
 }  // namespace gfc::sim

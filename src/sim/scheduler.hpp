@@ -1,19 +1,38 @@
-// Discrete-event scheduler: a binary heap of timestamped callbacks with
-// O(1) lazy cancellation. Events at the same timestamp fire in the order
-// they were scheduled, which keeps runs deterministic.
+// Discrete-event scheduler, engineered for the per-packet hot path.
+//
+// Design (this is the hottest code in the repo — see BENCH_microbench.json):
+//  - Event callbacks live in a slab of pooled, generation-tagged slots with
+//    inline small-callback storage (no per-event std::function heap
+//    allocation; oversized callables fall back to one heap thunk). Slots
+//    are recycled through a free list, PacketPool-style.
+//  - The ready queue is a 4-ary min-heap of 24-byte POD entries
+//    (time, FIFO sequence, slot, generation); sifts are plain copies.
+//  - cancel() and the pop-side liveness check compare the entry's
+//    generation tag against the slot's — O(1), no hashing. A cancelled
+//    event's heap entry stays behind and is skipped when popped.
+//  - run_until()/run_all() drain same-timestamp batches without
+//    re-checking the horizon per event.
+//
+// Observable semantics are pinned by tests/sim_test.cpp (SchedulerPinned),
+// tests/sim_property_test.cpp (random scripts vs a reference model) and
+// tests/determinism_test.cpp: events at the same timestamp fire in schedule
+// order, which keeps runs deterministic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace gfc::sim {
 
-/// Handle to a scheduled event; pass to Scheduler::cancel().
+/// Handle to a scheduled event; pass to Scheduler::cancel(). Encodes
+/// (generation << 32) | (slot index + 1); value 0 is the invalid handle.
 struct EventId {
   std::uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -22,7 +41,10 @@ struct EventId {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulation time. Monotonically non-decreasing.
   TimePs now() const { return now_; }
@@ -30,15 +52,51 @@ class Scheduler {
   /// Schedule `fn` at absolute time `t`. A `t` in the past is clamped to
   /// now(): the event fires "immediately", after the currently-executing
   /// event, before any later-stamped event.
-  EventId schedule_at(TimePs t, Callback fn);
-
-  /// Schedule `fn` after `delay` from now.
-  EventId schedule_in(TimePs delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_at(TimePs t, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if (t < now_) t = now_;  // past-dated events fire at now()
+    const std::uint32_t idx = alloc_slot();
+    Slot& s = *slot_ptr(idx);
+    if constexpr (sizeof(Fn) <= kInlineStorage &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+      // One indirect call on the fire path: invoke + destroy fused (the
+      // destructor call folds away for trivially destructible captures).
+      s.run = [](void* p) {
+        Fn* f = static_cast<Fn*>(p);
+        (*f)();
+        f->~Fn();
+      };
+      if constexpr (std::is_trivially_destructible_v<Fn>)
+        s.destroy = nullptr;
+      else
+        s.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      // Oversized/overaligned callable: one heap thunk, pointer inline.
+      Fn* heap_fn = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(s.storage)) Fn*(heap_fn);
+      s.run = [](void* p) {
+        Fn* f = *static_cast<Fn**>(p);
+        (*f)();
+        delete f;
+      };
+      s.destroy = [](void* p) { delete *static_cast<Fn**>(p); };
+    }
+    push_entry(HeapEntry{t, next_seq_++, idx, s.gen});
+    ++live_;
+    return EventId{(static_cast<std::uint64_t>(s.gen) << 32) |
+                   (static_cast<std::uint64_t>(idx) + 1)};
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
-  /// no-op; returns whether the event was still pending.
+  /// Schedule `fn` after `delay` from now.
+  template <typename F>
+  EventId schedule_in(TimePs delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or invalid id is a no-op; returns whether the event was still pending.
   bool cancel(EventId id);
 
   /// Run events until the queue empties or `t_end` is passed; events
@@ -58,33 +116,65 @@ class Scheduler {
   /// Request that run_until/run_all return after the current event.
   void request_stop() { stop_requested_ = true; }
 
-  std::size_t pending_events() const { return pending_.size(); }
+  std::size_t pending_events() const { return live_; }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Entry {
+  /// Inline storage for event callbacks. Sized for the repo's captures
+  /// (this + a couple of words); a copied std::function (32 B on
+  /// libstdc++) still fits.
+  static constexpr std::size_t kInlineStorage = 48;
+  static constexpr std::uint32_t kSlotsPerChunk = 256;
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    alignas(std::max_align_t) std::byte storage[kInlineStorage];
+    void (*run)(void*);      // invoke the callback, then destroy it
+    void (*destroy)(void*);  // destroy only (cancel path); nullptr if trivial
+    // Generation tag; bumped when the event fires or is cancelled, which
+    // invalidates outstanding EventIds and stale heap entries in O(1).
+    // Never 0, so a forged/zero EventId can't match. (A tag wraps only
+    // after 2^32 reuses of one slot while a stale handle survives —
+    // beyond any simulation length we run.)
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoFreeSlot;
+  };
+
+  /// POD ready-queue entry; `seq` is the global FIFO tiebreaker.
+  struct HeapEntry {
     TimePs t;
-    std::uint64_t id;  // doubles as tiebreaker: lower id fires first
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  /// Pop and run the top entry. Precondition: heap non-empty.
-  void fire_top();
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids of scheduled-but-not-yet-fired, not-cancelled events. cancel()
-  // erases from here (lazily leaving the heap entry in place); the pop path
-  // skips entries whose id is gone. Membership is the single source of
-  // truth for "still pending", so cancelling a fired id is a clean no-op.
-  std::unordered_set<std::uint64_t> pending_;
+  Slot* slot_ptr(std::uint32_t idx) {
+    return &chunks_[idx / kSlotsPerChunk][idx % kSlotsPerChunk];
+  }
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t idx, Slot& s);
+
+  void push_entry(HeapEntry e);
+  /// Pop the heap minimum. Precondition: heap non-empty.
+  HeapEntry pop_top();
+  /// Run the live event in `e`'s slot (generation already verified).
+  void execute(const HeapEntry& e);
+
+  // Slab of stable-address slot chunks plus an intrusive free list.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::uint32_t slots_used_ = 0;  // high-water mark of allocated slots
+
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap
+  std::uint64_t next_seq_ = 0;
+
   TimePs now_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;  // scheduled, not yet fired or cancelled
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
 };
