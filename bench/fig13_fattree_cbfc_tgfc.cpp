@@ -18,7 +18,8 @@ struct CaseRun {
   sim::TimePs deadlock_at = -1;
 };
 
-CaseRun run(const topo::Fig11Case& c, const FcSetup& fc, net::SwitchArch arch) {
+CaseRun run(const topo::Fig11Case& c, const FcSetup& fc, net::SwitchArch arch,
+            sim::TimePs duration) {
   ScenarioConfig cfg;
   cfg.switch_buffer = 300'000;
   cfg.arch = arch;
@@ -42,13 +43,14 @@ CaseRun run(const topo::Fig11Case& c, const FcSetup& fc, net::SwitchArch arch) {
       out.flow_gbps[f].add(
           now, tp.average_gbps(flows[f], now - sim::us(200), now));
   });
-  net.run_until(sim::ms(20));
+  net.run_until(duration);
   out.deadlocked = det.deadlocked();
   out.deadlock_at = det.detected_at();
   return out;
 }
 
-void report(const char* label, const topo::Fig11Case& c, const CaseRun& r) {
+void report(const char* label, const CaseRun& r,
+            sim::TimePs duration) {
   std::printf("\n--- %s ---\n", label);
   std::printf("deadlock: %s%s\n", r.deadlocked ? "YES " : "no",
               r.deadlocked ? sim::format_time(r.deadlock_at).c_str() : "");
@@ -56,14 +58,18 @@ void report(const char* label, const topo::Fig11Case& c, const CaseRun& r) {
                                      "F4 H13->H5"};
   for (std::size_t f = 0; f < r.flow_gbps.size(); ++f)
     std::printf("  %-11s tail throughput = %5.2f Gb/s\n", kFlowNames[f],
-                r.flow_gbps[f].mean(sim::ms(15), sim::ms(20)));
+                r.flow_gbps[f].mean(duration * 3 / 4, duration));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 13: fat-tree case study, CBFC vs time-based GFC",
                 "Fig. 11/13, Sec 6.2.2");
+  // --quick: 6 ms instead of 20 (deadlock strikes by ~4 ms; see
+  // EXPERIMENTS.md) so CI can smoke-run the full pipeline.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const sim::TimePs duration = quick ? sim::ms(6) : sim::ms(20);
   topo::Topology t;
   const auto ft = topo::build_fattree(t, 4);
   const auto cases = topo::find_fig11_cases(t, ft, 1);
@@ -81,13 +87,13 @@ int main() {
     std::printf(" %s->%s", t.node(a).name.c_str(), t.node(b).name.c_str());
   std::printf("\n");
 
-  const CaseRun pfc =
-      run(c, FcSetup::cbfc(sim::us(52.4)), net::SwitchArch::kOutputQueuedFifo);
-  report("CBFC (arrival-order switches)", c, pfc);
+  const CaseRun pfc = run(c, FcSetup::cbfc(sim::us(52.4)),
+                          net::SwitchArch::kOutputQueuedFifo, duration);
+  report("CBFC (arrival-order switches)", pfc, duration);
 
   const CaseRun gfc = run(c, FcSetup::gfc_time(159'000, 300'000, sim::us(52.4)),
-                          net::SwitchArch::kCioqRoundRobin);
-  report("time-based GFC (fair crossbar)", c, gfc);
+                          net::SwitchArch::kCioqRoundRobin, duration);
+  report("time-based GFC (fair crossbar)", gfc, duration);
 
   std::printf("\nPaper shape: CBFC flows all collapse to 0 (deadlock); GFC "
               "flows each hold their 5 Gb/s share.\n");

@@ -3,7 +3,14 @@
 // similar average available bandwidth and slowdown — GFC introduces no
 // side effects. (b) deadlock-prone scenarios: PFC/CBFC collapse to zero
 // bandwidth / unbounded FCT once deadlock strikes, GFC keeps working.
+//
+// Runs as an exp:: campaign: a cheap topology-only scan enumerates the
+// qualifying seeds, then every (mechanism, seed) simulation is an
+// independent trial on the worker pool (--jobs N). Printed numbers are
+// identical to the historical sequential loop for any job count.
 #include "bench_common.hpp"
+#include "exp/cli.hpp"
+#include "exp/worker_pool.hpp"
 
 using namespace gfc;
 using namespace gfc::runner;
@@ -13,10 +20,10 @@ namespace {
 struct Agg {
   double bw_sum = 0, sd_sum = 0;
   int n = 0, deadlocks = 0;
-  void add(const RunSummary& r) {
-    if (!r.deadlocked) {
-      bw_sum += r.per_host_gbps;
-      sd_sum += r.mean_slowdown;
+  void add(bool deadlocked, double bw, double sd) {
+    if (!deadlocked) {
+      bw_sum += bw;
+      sd_sum += sd;
       ++n;
     } else {
       ++deadlocks;
@@ -24,98 +31,185 @@ struct Agg {
   }
 };
 
+/// First `want` seeds in [1, 400) whose random 5%-failure fat-tree is
+/// CBD-free (the part-(a) population; mechanism-independent).
+std::vector<std::uint64_t> scan_cbd_free_seeds(int k, int want) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t seed = 1;
+       static_cast<int>(out.size()) < want && seed < 400; ++seed) {
+    topo::Topology t;
+    topo::build_fattree(t, k);
+    sim::Rng rng(seed);
+    topo::random_failures(t, rng, 0.05);
+    if (!topo::cbd_prone(t, topo::compute_shortest_paths(t))) out.push_back(seed);
+  }
+  return out;
+}
+
+/// Part-(b) population: seeds whose failure set is CBD-prone *and* whose
+/// directed stress probe realizes the full cyclic flow combination.
+struct ProneCase {
+  std::uint64_t seed;
+  std::vector<topo::LinkIndex> failed;
+  std::vector<topo::CbdStress::FlowSpec> stress_flows;
+};
+std::vector<ProneCase> scan_prone_cases(int k, std::uint64_t max_seed) {
+  std::vector<ProneCase> out;
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
+    topo::Topology t;
+    topo::build_fattree(t, k);
+    sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(k));
+    auto failed = topo::random_failures(t, rng, 0.05);
+    const auto routing = topo::compute_shortest_paths(t);
+    topo::BufferDependencyGraph g(t);
+    g.add_routing_closure(routing);
+    const auto cbd = g.find_cycle();
+    if (!cbd.has_cbd) continue;
+    auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
+    if (!stress.covered) continue;
+    out.push_back({seed, std::move(failed), std::move(stress.flows)});
+  }
+  return out;
+}
+
+ScenarioConfig config_for(FcKind kind) {
+  ScenarioConfig cfg;
+  cfg.switch_buffer = 300'000;
+  cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figures 16/17: average available bandwidth and slowdown",
                 "Fig. 16(a)/(b), Fig. 17(a)/(b), Sec 6.2.3");
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const int kCbdFreeCases = quick ? 6 : 14;
+  const int kCbdFreeCases = cli.quick ? 6 : 14;
   const int k = 4;
   const FcKind kinds[4] = {FcKind::kPfc, FcKind::kCbfc, FcKind::kGfcBuffer,
                            FcKind::kGfcTime};
   const char* names[4] = {"PFC", "CBFC", "GFC-buffer", "GFC-time"};
 
-  // --- (a) CBD-free cases -------------------------------------------------
-  std::printf("\n(a) CBD-free random scenarios (k=%d, 5%% failures, "
-              "enterprise workload, %d cases x 12 ms)\n",
-              k, kCbdFreeCases);
-  std::printf("%-12s %18s %14s %9s\n", "mechanism", "avail bw [Gb/s/host]",
-              "mean slowdown", "deadlocks");
-  Agg free_agg[4];
+  const auto free_seeds = scan_cbd_free_seeds(k, kCbdFreeCases);
+  const auto prone = scan_prone_cases(k, cli.quick ? 40u : 160u);
+
+  exp::Campaign campaign;
+  campaign.name = "fig16_17_overall";
+
+  // --- (a) CBD-free cases: closed-loop workload for every mechanism ------
   for (int m = 0; m < 4; ++m) {
-    int found = 0;
-    for (std::uint64_t seed = 1; found < kCbdFreeCases && seed < 400; ++seed) {
-      ScenarioConfig cfg;
-      cfg.switch_buffer = 300'000;
-      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
-                               cfg.tau());
-      auto s = make_random_fattree(cfg, k, 0.05, seed);
-      if (s.cbd_prone) continue;
-      ++found;
-      RunOptions opts;
-      opts.duration = sim::ms(12);
-      opts.workload_seed = 1000 + seed;
-      free_agg[m].add(run_closed_loop(s, opts));
+    for (std::uint64_t seed : free_seeds) {
+      exp::ParamSet p;
+      p.set("part", "a");
+      p.set("mechanism", names[m]);
+      p.set("seed", seed);
+      const FcKind kind = kinds[m];
+      campaign.add("a/" + std::string(names[m]) + "/seed" + std::to_string(seed),
+                   std::move(p), [kind, k, seed] {
+                     auto s = make_random_fattree(config_for(kind), k, 0.05, seed);
+                     RunOptions opts;
+                     opts.duration = sim::ms(12);
+                     opts.workload_seed = 1000 + seed;
+                     const RunSummary r = run_closed_loop(s, opts);
+                     return exp::TrialResult()
+                         .add("deadlocked", r.deadlocked)
+                         .add("per_host_gbps", r.per_host_gbps)
+                         .add("mean_slowdown", r.mean_slowdown);
+                   });
     }
-    std::printf("%-12s %18.2f %14.1f %9d\n", names[m],
-                free_agg[m].bw_sum / free_agg[m].n,
-                free_agg[m].sd_sum / free_agg[m].n, free_agg[m].deadlocks);
   }
 
-  // --- (b) deadlock-prone cases --------------------------------------------
+  // --- (b) deadlock-prone cases ------------------------------------------
   // The baselines get the CBD stress probe (the flow combination the
   // paper's repeats hunt for); once it locks, throughput is zero forever.
   // GFC runs the same deadlock-prone topologies with the organic
   // closed-loop workload: combinations come and go, nothing locks, and the
   // long-run average matches the CBD-free numbers (the paper's Fig 16(b)).
+  for (int m = 0; m < 4; ++m) {
+    const bool is_gfc =
+        kinds[m] == FcKind::kGfcBuffer || kinds[m] == FcKind::kGfcTime;
+    for (const ProneCase& c : prone) {
+      exp::ParamSet p;
+      p.set("part", "b");
+      p.set("mechanism", names[m]);
+      p.set("seed", c.seed);
+      const FcKind kind = kinds[m];
+      auto run_gfc = [kind, k, c] {
+        auto s = make_fattree(config_for(kind), k, c.failed);
+        RunOptions opts;
+        opts.duration = sim::ms(12);
+        opts.workload_seed = 77 + c.seed;
+        const RunSummary r = run_closed_loop(s, opts);
+        return exp::TrialResult()
+            .add("deadlocked", r.deadlocked)
+            .add("per_host_gbps", r.per_host_gbps);
+      };
+      auto run_stress = [kind, k, c] {
+        auto s = make_fattree(config_for(kind), k, c.failed);
+        net::Network& net = s.fabric->net();
+        for (const auto& f : c.stress_flows) {
+          net::Flow& flow =
+              net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
+          flow.path_salt = f.salt;
+        }
+        stats::ThroughputSampler tp(net, sim::us(100));
+        stats::DeadlockDetector det(net);
+        net.run_until(sim::ms(12));
+        const double bw = tp.average_gbps(0, sim::ms(9), sim::ms(12)) /
+                          static_cast<double>(s.info.hosts.size());
+        return exp::TrialResult()
+            .add("deadlocked", det.deadlocked())
+            .add("per_host_gbps", bw);
+      };
+      campaign.add("b/" + std::string(names[m]) + "/seed" +
+                       std::to_string(c.seed),
+                   std::move(p),
+                   is_gfc ? std::function<exp::TrialResult()>(run_gfc)
+                          : std::function<exp::TrialResult()>(run_stress));
+    }
+  }
+
+  const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
+  for (const auto& t : result.trials)
+    if (t.failed) {
+      std::fprintf(stderr, "trial %s failed: %s\n", t.name.c_str(),
+                   t.error.c_str());
+      return 1;
+    }
+
+  // --- report, byte-identical to the historical sequential output --------
+  const std::size_t nfree = free_seeds.size();
+  std::printf("\n(a) CBD-free random scenarios (k=%d, 5%% failures, "
+              "enterprise workload, %d cases x 12 ms)\n",
+              k, kCbdFreeCases);
+  std::printf("%-12s %18s %14s %9s\n", "mechanism", "avail bw [Gb/s/host]",
+              "mean slowdown", "deadlocks");
+  for (int m = 0; m < 4; ++m) {
+    Agg agg;
+    for (std::size_t i = 0; i < nfree; ++i) {
+      const auto& mt = result.trials[m * nfree + i].metrics;
+      agg.add(mt.find("deadlocked")->as_bool(),
+              mt.find("per_host_gbps")->as_double(),
+              mt.find("mean_slowdown")->as_double());
+    }
+    std::printf("%-12s %18.2f %14.1f %9d\n", names[m], agg.bw_sum / agg.n,
+                agg.sd_sum / agg.n, agg.deadlocks);
+  }
+
   std::printf("\n(b) deadlock-prone scenarios\n");
   std::printf("%-12s %18s %9s\n", "mechanism", "avail bw [Gb/s/host]",
               "deadlocks");
+  const std::size_t b_base = 4 * nfree;
   for (int m = 0; m < 4; ++m) {
     const bool is_gfc =
         kinds[m] == FcKind::kGfcBuffer || kinds[m] == FcKind::kGfcTime;
     double bw_sum = 0;
     int n = 0, deadlocks = 0;
-    for (std::uint64_t seed = 1; seed <= (quick ? 40u : 160u); ++seed) {
-      topo::Topology t;
-      topo::build_fattree(t, k);
-      sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(k));
-      const auto failed = topo::random_failures(t, rng, 0.05);
-      const auto routing = topo::compute_shortest_paths(t);
-      topo::BufferDependencyGraph g(t);
-      g.add_routing_closure(routing);
-      const auto cbd = g.find_cycle();
-      if (!cbd.has_cbd) continue;
-      const auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
-      if (!stress.covered) continue;
-      ScenarioConfig cfg;
-      cfg.switch_buffer = 300'000;
-      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
-                               cfg.tau());
-      auto s = make_fattree(cfg, k, failed);
-      if (is_gfc) {
-        RunOptions opts;
-        opts.duration = sim::ms(12);
-        opts.workload_seed = 77 + seed;
-        const RunSummary r = run_closed_loop(s, opts);
-        if (r.deadlocked) ++deadlocks;
-        bw_sum += r.per_host_gbps;
-        ++n;
-        continue;
-      }
-      net::Network& net = s.fabric->net();
-      for (const auto& f : stress.flows) {
-        net::Flow& flow =
-            net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
-        flow.path_salt = f.salt;
-      }
-      stats::ThroughputSampler tp(net, sim::us(100));
-      stats::DeadlockDetector det(net);
-      net.run_until(sim::ms(12));
-      if (det.deadlocked()) ++deadlocks;
-      bw_sum += tp.average_gbps(0, sim::ms(9), sim::ms(12)) /
-                static_cast<double>(s.info.hosts.size());
+    for (std::size_t i = 0; i < prone.size(); ++i) {
+      const auto& mt = result.trials[b_base + m * prone.size() + i].metrics;
+      if (mt.find("deadlocked")->as_bool()) ++deadlocks;
+      bw_sum += mt.find("per_host_gbps")->as_double();
       ++n;
     }
     std::printf("%-12s %18.2f %9d   (over %d prone cases%s)\n", names[m],
@@ -127,5 +221,6 @@ int main(int argc, char** argv) {
               "Note: under the *sustained* stress probe GFC still never "
               "deadlocks, but crawls at the\nrate floor while the probe "
               "lasts (rates never reach zero; see EXPERIMENTS.md).\n");
-  return 0;
+
+  return exp::finish_cli(cli, result) ? 0 : 1;
 }

@@ -1,23 +1,50 @@
 #!/usr/bin/env python3
-"""Merge one google-benchmark JSON output into the tracked BENCH file.
+"""Merge one benchmark/campaign JSON output into a tracked BENCH file.
 
-Usage: merge_bench_json.py <bench_file> <label> <commit> <gbench_json>
+Usage: merge_bench_json.py <bench_file> <label> <commit> <json> [--summary-only]
 
-The tracked file holds a list of labeled runs (one per engine/stage), each
-carrying the google-benchmark context and the aggregate benchmark entries,
-so before/after comparisons live side by side in a single reviewable file.
+Two input flavors are auto-detected:
+
+* google-benchmark output (bench/microbench): the tracked file holds a
+  list of labeled runs (one per engine/stage), each carrying the
+  google-benchmark context and the aggregate benchmark entries, so
+  before/after comparisons live side by side in a single reviewable file.
+* exp:: campaign output (schema "gfc-campaign-v1", from --json on
+  fig16_17_overall / table1_deadlock_cases / gfc_sweep): the tracked file
+  gets the campaign name plus per-trial params/metrics, and — when the
+  campaign was written with --timing — the jobs/wall_ms metadata, so
+  serial-vs-parallel wall-clock comparisons are recorded next to the
+  microbenchmarks. --summary-only drops the per-trial list and keeps just
+  the counts + timing, for wall-clock records where the trial data is
+  already tracked elsewhere.
+
+Either way, re-running with the same label replaces that run in place.
 """
 import json
 import sys
 
 
-def main() -> None:
-    bench_file, label, commit, gbench_json = sys.argv[1:5]
-
-    with open(gbench_json) as f:
-        raw = json.load(f)
-
+def campaign_run(label: str, commit: str, raw: dict,
+                 summary_only: bool) -> dict:
+    trials = raw.get("trials", [])
     run = {
+        "label": label,
+        "commit": commit,
+        "campaign": raw.get("campaign", ""),
+        "schema": raw.get("schema"),
+        "n_trials": len(trials),
+        "n_failed": sum(1 for t in trials if t.get("failed")),
+    }
+    for key in ("jobs", "wall_ms"):  # present only with --timing
+        if key in raw:
+            run[key] = raw[key]
+    if not summary_only:
+        run["trials"] = trials
+    return run
+
+
+def gbench_run(label: str, commit: str, raw: dict) -> dict:
+    return {
         "label": label,
         "commit": commit,
         "date": raw.get("context", {}).get("date", ""),
@@ -38,11 +65,27 @@ def main() -> None:
         ],
     }
 
+
+def main() -> None:
+    bench_file, label, commit, input_json = sys.argv[1:5]
+    summary_only = "--summary-only" in sys.argv[5:]
+
+    with open(input_json) as f:
+        raw = json.load(f)
+
+    if raw.get("schema") == "gfc-campaign-v1":
+        run = campaign_run(label, commit, raw, summary_only)
+        default_doc = {"schema": "gfc-campaigns-v1", "runs": []}
+    else:
+        run = gbench_run(label, commit, raw)
+        default_doc = {"schema": "gfc-bench-v1", "benchmark": "microbench",
+                       "runs": []}
+
     try:
         with open(bench_file) as f:
             doc = json.load(f)
     except FileNotFoundError:
-        doc = {"schema": "gfc-bench-v1", "benchmark": "microbench", "runs": []}
+        doc = default_doc
 
     doc["runs"] = [r for r in doc["runs"] if r.get("label") != label] + [run]
 

@@ -8,56 +8,50 @@
 // the CBD" with a directed stress probe and report, per mechanism, the
 // number of scenarios that deadlock. Expected shape: identical nonzero
 // counts for PFC and CBFC, decreasing with k; zero for both GFC variants.
+//
+// Runs as an exp:: campaign: the topology scan (sampled/prone/covered) is
+// sequential and cheap; every (scale, covered seed, mechanism) simulation
+// is an independent worker-pool trial (--jobs N), with counts identical to
+// the historical sequential loop for any job count.
 #include "bench_common.hpp"
+#include "exp/cli.hpp"
+#include "exp/worker_pool.hpp"
 
 using namespace gfc;
 using namespace gfc::runner;
 
 namespace {
 
-struct Counts {
-  int sampled = 0;
-  int prone = 0;
-  int covered = 0;
-  int deadlocks[4] = {0, 0, 0, 0};  // PFC, CBFC, GFC-buffer, GFC-time
+struct CoveredCase {
+  std::uint64_t seed;
+  std::vector<topo::LinkIndex> failed;
+  std::vector<topo::CbdStress::FlowSpec> stress_flows;
 };
 
-Counts run_scale(int k, int n_topologies, sim::TimePs duration) {
-  Counts out;
-  const FcKind kinds[4] = {FcKind::kPfc, FcKind::kCbfc, FcKind::kGfcBuffer,
-                           FcKind::kGfcTime};
+struct ScaleScan {
+  int sampled = 0;
+  int prone = 0;
+  std::vector<CoveredCase> covered;
+};
+
+ScaleScan scan_scale(int k, int n_topologies) {
+  ScaleScan out;
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n_topologies);
        ++seed) {
     ++out.sampled;
     topo::Topology t;
     topo::build_fattree(t, k);
     sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(k));
-    const auto failed = topo::random_failures(t, rng, 0.05);
+    auto failed = topo::random_failures(t, rng, 0.05);
     const auto routing = topo::compute_shortest_paths(t);
     topo::BufferDependencyGraph g(t);
     g.add_routing_closure(routing);
     const auto cbd = g.find_cycle();
     if (!cbd.has_cbd) continue;
     ++out.prone;
-    const auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
+    auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
     if (!stress.covered) continue;
-    ++out.covered;
-    for (int m = 0; m < 4; ++m) {
-      ScenarioConfig cfg;
-      cfg.switch_buffer = 300'000;
-      cfg.fc = FcSetup::derive(kinds[m], cfg.switch_buffer, cfg.link.rate,
-                               cfg.tau());
-      auto s = make_fattree(cfg, k, failed);
-      net::Network& net = s.fabric->net();
-      for (const auto& f : stress.flows) {
-        net::Flow& flow =
-            net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
-        flow.path_salt = f.salt;
-      }
-      stats::DeadlockDetector det(net, {sim::ms(1), 3, true});
-      net.run_until(duration);
-      if (det.deadlocked()) ++out.deadlocks[m];
-    }
+    out.covered.push_back({seed, std::move(failed), std::move(stress.flows)});
   }
   return out;
 }
@@ -65,27 +59,85 @@ Counts run_scale(int k, int n_topologies, sim::TimePs duration) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Table 1: deadlock cases across network scales", "Table 1");
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   struct Scale {
     int k;
     int n;
     sim::TimePs dur;
   };
   const Scale scales[] = {
-      {4, quick ? 40 : 160, sim::ms(12)},
-      {8, quick ? 60 : 400, sim::ms(10)},
-      {16, quick ? 8 : 40, sim::ms(8)},
+      {4, cli.quick ? 40 : 160, sim::ms(12)},
+      {8, cli.quick ? 60 : 400, sim::ms(10)},
+      {16, cli.quick ? 8 : 40, sim::ms(8)},
   };
+  const FcKind kinds[4] = {FcKind::kPfc, FcKind::kCbfc, FcKind::kGfcBuffer,
+                           FcKind::kGfcTime};
+  const char* names[4] = {"PFC", "CBFC", "GFC-buffer", "GFC-time"};
+
+  std::vector<ScaleScan> scans;
+  for (const Scale& s : scales) scans.push_back(scan_scale(s.k, s.n));
+
+  exp::Campaign campaign;
+  campaign.name = "table1_deadlock_cases";
+  for (std::size_t si = 0; si < std::size(scales); ++si) {
+    const Scale& s = scales[si];
+    for (const CoveredCase& c : scans[si].covered) {
+      for (int m = 0; m < 4; ++m) {
+        exp::ParamSet p;
+        p.set("k", s.k);
+        p.set("seed", c.seed);
+        p.set("mechanism", names[m]);
+        const FcKind kind = kinds[m];
+        const int k = s.k;
+        const sim::TimePs dur = s.dur;
+        campaign.add("k" + std::to_string(s.k) + "/seed" +
+                         std::to_string(c.seed) + "/" + names[m],
+                     std::move(p), [kind, k, dur, c] {
+                       ScenarioConfig cfg;
+                       cfg.switch_buffer = 300'000;
+                       cfg.fc = FcSetup::derive(kind, cfg.switch_buffer,
+                                                cfg.link.rate, cfg.tau());
+                       auto sc = make_fattree(cfg, k, c.failed);
+                       net::Network& net = sc.fabric->net();
+                       for (const auto& f : c.stress_flows) {
+                         net::Flow& flow = net.create_flow(
+                             f.src, f.dst, 0, net::Flow::kUnbounded, 0);
+                         flow.path_salt = f.salt;
+                       }
+                       stats::DeadlockDetector det(net, {sim::ms(1), 3, true});
+                       net.run_until(dur);
+                       return exp::TrialResult().add("deadlocked",
+                                                     det.deadlocked());
+                     });
+      }
+    }
+  }
+
+  const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
+  for (const auto& t : result.trials)
+    if (t.failed) {
+      std::fprintf(stderr, "trial %s failed: %s\n", t.name.c_str(),
+                   t.error.c_str());
+      return 1;
+    }
+
   std::printf("%-7s %9s %6s %8s | %5s %5s %12s %10s\n", "scale", "sampled",
               "prone", "covered", "PFC", "CBFC", "GFC-buffer", "GFC-time");
-  for (const Scale& s : scales) {
-    const Counts c = run_scale(s.k, s.n, s.dur);
-    std::printf("k = %-3d %9d %6d %8d | %5d %5d %12d %10d\n", s.k, c.sampled,
-                c.prone, c.covered, c.deadlocks[0], c.deadlocks[1],
-                c.deadlocks[2], c.deadlocks[3]);
+  std::size_t idx = 0;
+  for (std::size_t si = 0; si < std::size(scales); ++si) {
+    int deadlocks[4] = {0, 0, 0, 0};
+    for (std::size_t ci = 0; ci < scans[si].covered.size(); ++ci)
+      for (int m = 0; m < 4; ++m, ++idx)
+        if (result.trials[idx].metrics.find("deadlocked")->as_bool())
+          ++deadlocks[m];
+    std::printf("k = %-3d %9d %6d %8d | %5d %5d %12d %10d\n", scales[si].k,
+                scans[si].sampled, scans[si].prone,
+                static_cast<int>(scans[si].covered.size()), deadlocks[0],
+                deadlocks[1], deadlocks[2], deadlocks[3]);
   }
   std::printf("\nPaper shape (Table 1): PFC and CBFC deadlock in the same\n"
               "scenarios, counts decrease with scale, both GFC variants are 0.\n");
-  return 0;
+
+  return exp::finish_cli(cli, result) ? 0 : 1;
 }

@@ -1,0 +1,84 @@
+// Declarative experiment campaigns: a Campaign is an ordered list of named
+// Trials, each a self-contained factory that builds and runs its own
+// simulation (private Scheduler/Network) and returns structured metrics.
+// Because trials share nothing, a campaign's results are independent of
+// execution order and thread count (see worker_pool.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/value.hpp"
+
+namespace gfc::exp {
+
+/// What a trial hands back: an ordered metric set. Keys are emitted to
+/// JSON in insertion order.
+struct TrialResult {
+  ParamSet metrics;
+  TrialResult& add(std::string name, Value v) {
+    metrics.set(std::move(name), std::move(v));
+    return *this;
+  }
+};
+
+struct Trial {
+  std::string name;    // unique within the campaign, e.g. "a/GFC-buffer/seed7"
+  ParamSet params;     // the sweep coordinates this trial realizes
+  std::function<TrialResult()> run;  // must not touch shared mutable state
+};
+
+struct Campaign {
+  std::string name;
+  std::vector<Trial> trials;
+
+  Trial& add(std::string trial_name, ParamSet params,
+             std::function<TrialResult()> run) {
+    trials.push_back(
+        Trial{std::move(trial_name), std::move(params), std::move(run)});
+    return trials.back();
+  }
+  std::size_t size() const { return trials.size(); }
+};
+
+/// Cross-product sweep helper: named axes, expanded row-major (the first
+/// axis varies slowest), each point an ordered ParamSet.
+class Grid {
+ public:
+  Grid& axis(std::string name, std::vector<Value> values) {
+    axes_.emplace_back(std::move(name), std::move(values));
+    return *this;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (const auto& [name, vals] : axes_) n *= vals.size();
+    return n;
+  }
+
+  /// All grid points; an axis-free grid yields one empty point. An axis
+  /// with no values collapses the grid to nothing.
+  std::vector<ParamSet> points() const {
+    std::vector<ParamSet> out{ParamSet{}};
+    for (const auto& [name, vals] : axes_) {
+      std::vector<ParamSet> next;
+      next.reserve(out.size() * vals.size());
+      for (const auto& base : out)
+        for (const auto& v : vals) {
+          ParamSet p = base;
+          p.set(name, v);
+          next.push_back(std::move(p));
+        }
+      out = std::move(next);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<Value>>> axes_;
+};
+
+}  // namespace gfc::exp

@@ -1,0 +1,60 @@
+#include "exp/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gfc::exp {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* prog, const char* bad) {
+  std::fprintf(stderr, "unknown or incomplete argument: %s\n", bad);
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--jobs N] [--json PATH] [--timing] "
+               "[--no-progress]\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--quick")) {
+      opts.quick = true;
+    } else if (!std::strcmp(a, "--timing")) {
+      opts.timing = true;
+    } else if (!std::strcmp(a, "--no-progress")) {
+      opts.progress = false;
+    } else if (!std::strcmp(a, "--jobs")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (!std::strncmp(a, "--jobs=", 7)) {
+      opts.jobs = std::atoi(a + 7);
+    } else if (!std::strcmp(a, "--json")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      opts.json_path = argv[++i];
+    } else if (!std::strncmp(a, "--json=", 7)) {
+      opts.json_path = a + 7;
+    } else {
+      usage_and_exit(argv[0], a);
+    }
+  }
+  return opts;
+}
+
+bool finish_cli(const CliOptions& opts, const CampaignResult& result) {
+  if (opts.json_path.empty()) return true;
+  if (!result.write_json(opts.json_path, opts.timing)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s (%zu trials, %zu failed)\n",
+               opts.json_path.c_str(), result.trials.size(),
+               result.failures());
+  return true;
+}
+
+}  // namespace gfc::exp

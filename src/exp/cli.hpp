@@ -1,0 +1,38 @@
+// Shared command-line surface for campaign binaries:
+//   --jobs N      worker threads (0 = all cores)        [default 1]
+//   --quick       shrunken sweep for smoke runs
+//   --json PATH   write the campaign's JSON results to PATH
+//   --timing      include wall-clock metadata in the JSON
+//   --no-progress suppress the live progress/ETA line
+#pragma once
+
+#include <string>
+
+#include "exp/worker_pool.hpp"
+
+namespace gfc::exp {
+
+struct CliOptions {
+  int jobs = 1;
+  bool quick = false;
+  bool timing = false;
+  bool progress = true;
+  std::string json_path;  // empty = don't write JSON
+
+  PoolOptions pool() const {
+    PoolOptions p;
+    p.jobs = jobs;
+    p.progress = progress;
+    return p;
+  }
+};
+
+/// Parse the flags above; on an unknown argument or missing flag value,
+/// prints usage to stderr and exits with status 2.
+CliOptions parse_cli(int argc, char** argv);
+
+/// If `--json` was given, write `result` there (honoring `--timing`) and
+/// print a one-line confirmation; false only on I/O failure.
+bool finish_cli(const CliOptions& opts, const CampaignResult& result);
+
+}  // namespace gfc::exp

@@ -1,0 +1,88 @@
+#include "exp/results.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gfc::exp {
+
+std::size_t CampaignResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(trials.begin(), trials.end(),
+                    [](const TrialRecord& t) { return t.failed; }));
+}
+
+const TrialRecord* CampaignResult::find(const std::string& trial_name) const {
+  for (const auto& t : trials)
+    if (t.name == trial_name) return &t;
+  return nullptr;
+}
+
+std::string CampaignResult::json(bool include_timing) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": " + Value::quote(kCampaignSchema) + ",\n";
+  out += "  \"campaign\": " + Value::quote(campaign) + ",\n";
+  if (include_timing) {
+    out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+    out += "  \"wall_ms\": " + Value(wall_ms).json() + ",\n";
+  }
+  out += "  \"trials\": [\n";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const TrialRecord& t = trials[i];
+    out += "    {\"name\": " + Value::quote(t.name);
+    out += ", \"params\": " + t.params.json();
+    if (t.failed) {
+      out += ", \"failed\": true, \"error\": " + Value::quote(t.error);
+    } else {
+      out += ", \"metrics\": " + t.metrics.json();
+    }
+    if (include_timing) out += ", \"wall_ms\": " + Value(t.wall_ms).json();
+    out += i + 1 < trials.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool CampaignResult::write_json(const std::string& path,
+                                bool include_timing) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = json(include_timing);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void CampaignResult::print_report(std::FILE* out) const {
+  // Column set: union of metric keys in first-seen order.
+  std::vector<std::string> cols;
+  for (const auto& t : trials)
+    for (const auto& [k, v] : t.metrics)
+      if (std::find(cols.begin(), cols.end(), k) == cols.end())
+        cols.push_back(k);
+
+  std::size_t name_w = std::strlen("trial");
+  for (const auto& t : trials) name_w = std::max(name_w, t.name.size());
+  std::vector<std::size_t> col_w;
+  for (const auto& c : cols) col_w.push_back(std::max<std::size_t>(c.size(), 8));
+
+  std::fprintf(out, "%-*s", static_cast<int>(name_w), "trial");
+  for (std::size_t j = 0; j < cols.size(); ++j)
+    std::fprintf(out, "  %*s", static_cast<int>(col_w[j]), cols[j].c_str());
+  std::fprintf(out, "\n");
+  for (const auto& t : trials) {
+    std::fprintf(out, "%-*s", static_cast<int>(name_w), t.name.c_str());
+    if (t.failed) {
+      std::fprintf(out, "  FAILED: %s", t.error.c_str());
+    } else {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const Value* v = t.metrics.find(cols[j]);
+        std::fprintf(out, "  %*s", static_cast<int>(col_w[j]),
+                     v ? v->json().c_str() : "-");
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace gfc::exp

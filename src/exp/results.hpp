@@ -1,0 +1,47 @@
+// Campaign results store: per-trial records in campaign order, schema'd
+// JSON serialization, and an aligned-table report printer for paper
+// comparison. Timing fields (wall_ms, jobs) are metadata, excluded from
+// JSON by default so output is byte-identical across thread counts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace gfc::exp {
+
+inline constexpr const char* kCampaignSchema = "gfc-campaign-v1";
+
+struct TrialRecord {
+  std::string name;
+  ParamSet params;
+  ParamSet metrics;   // empty if the trial failed
+  bool failed = false;
+  std::string error;  // exception message when failed
+  double wall_ms = 0;  // timing metadata, not part of the result proper
+};
+
+struct CampaignResult {
+  std::string campaign;
+  std::vector<TrialRecord> trials;  // always in Campaign::trials order
+  int jobs = 1;        // timing metadata
+  double wall_ms = 0;  // timing metadata
+
+  std::size_t failures() const;
+  const TrialRecord* find(const std::string& trial_name) const;
+
+  /// Pretty-printed JSON document. With include_timing = false (the
+  /// default) the bytes depend only on trial results: no wall-clock, no
+  /// job count, so `--jobs 1` and `--jobs N` serialize identically.
+  std::string json(bool include_timing = false) const;
+  /// Write `json()` (plus trailing newline) to `path`; false on I/O error.
+  bool write_json(const std::string& path, bool include_timing = false) const;
+
+  /// Aligned table: one row per trial, one column per metric key (union,
+  /// first-seen order), for eyeballing against the paper's tables.
+  void print_report(std::FILE* out = stdout) const;
+};
+
+}  // namespace gfc::exp

@@ -1,0 +1,128 @@
+// Scalar parameter/metric values for experiment campaigns, with
+// deterministic JSON rendering: doubles use shortest-round-trip
+// formatting (std::to_chars), so identical runs serialize to identical
+// bytes regardless of locale or platform printf quirks.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gfc::exp {
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned u) : v_(static_cast<std::int64_t>(u)) {}
+  Value(std::uint64_t u) : v_(static_cast<std::int64_t>(u)) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const {
+    return is_int() ? static_cast<double>(as_int()) : std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value&) const = default;
+
+  /// JSON token for this value (quoted + escaped for strings).
+  std::string json() const {
+    switch (v_.index()) {
+      case 0: return as_bool() ? "true" : "false";
+      case 1: return std::to_string(as_int());
+      case 2: {
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), std::get<double>(v_));
+        return std::string(buf, r.ptr);
+      }
+      default: return quote(as_string());
+    }
+  }
+
+  /// Quote and escape a string as a JSON string literal.
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  std::variant<bool, std::int64_t, double, std::string> v_;
+};
+
+/// Ordered name -> value list (insertion order is serialization order, so
+/// JSON output is deterministic; no hashing anywhere).
+class ParamSet {
+ public:
+  void set(std::string name, Value v) {
+    for (auto& [k, old] : kv_)
+      if (k == name) {
+        old = std::move(v);
+        return;
+      }
+    kv_.emplace_back(std::move(name), std::move(v));
+  }
+
+  const Value* find(const std::string& name) const {
+    for (const auto& [k, v] : kv_)
+      if (k == name) return &v;
+    return nullptr;
+  }
+
+  bool empty() const { return kv_.empty(); }
+  std::size_t size() const { return kv_.size(); }
+  auto begin() const { return kv_.begin(); }
+  auto end() const { return kv_.end(); }
+
+  bool operator==(const ParamSet&) const = default;
+
+  /// `{"a":1,"b":"x"}`.
+  std::string json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      if (i) out += ',';
+      out += Value::quote(kv_[i].first);
+      out += ':';
+      out += kv_[i].second.json();
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> kv_;
+};
+
+}  // namespace gfc::exp

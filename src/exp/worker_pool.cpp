@@ -1,0 +1,110 @@
+#include "exp/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace gfc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+TrialRecord run_one(const Trial& trial) {
+  TrialRecord rec;
+  rec.name = trial.name;
+  rec.params = trial.params;
+  const auto t0 = Clock::now();
+  try {
+    rec.metrics = trial.run().metrics;
+  } catch (const std::exception& e) {
+    rec.failed = true;
+    rec.error = e.what();
+  } catch (...) {
+    rec.failed = true;
+    rec.error = "unknown exception";
+  }
+  rec.wall_ms = ms_since(t0);
+  return rec;
+}
+
+class Progress {
+ public:
+  Progress(bool enabled, std::FILE* out, const std::string& name,
+           std::size_t total)
+      : enabled_(enabled), out_(out ? out : stderr), name_(name),
+        total_(total), t0_(Clock::now()) {}
+
+  void tick(std::size_t done) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const double elapsed = ms_since(t0_) / 1000.0;
+    const double eta =
+        done ? elapsed / static_cast<double>(done) *
+                   static_cast<double>(total_ - done)
+             : 0.0;
+    std::fprintf(out_, "\r[%s] %zu/%zu trials, %.1fs elapsed, eta %.1fs ",
+                 name_.c_str(), done, total_, elapsed, eta);
+    if (done == total_) std::fprintf(out_, "\n");
+    std::fflush(out_);
+  }
+
+ private:
+  bool enabled_;
+  std::FILE* out_;
+  std::string name_;
+  std::size_t total_;
+  Clock::time_point t0_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const Campaign& campaign, const PoolOptions& opts) {
+  const std::size_t n = campaign.trials.size();
+  CampaignResult result;
+  result.campaign = campaign.name;
+  result.trials.resize(n);
+
+  int jobs = opts.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), std::max<std::size_t>(n, 1)));
+  result.jobs = jobs;
+
+  const auto t0 = Clock::now();
+  Progress progress(opts.progress, opts.progress_out, campaign.name, n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      result.trials[i] = run_one(campaign.trials[i]);
+      progress.tick(done.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  result.wall_ms = ms_since(t0);
+  return result;
+}
+
+}  // namespace gfc::exp

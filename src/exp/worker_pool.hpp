@@ -1,0 +1,26 @@
+// Worker pool over a Campaign's independent trials: N std::threads pull
+// trial indices off a shared atomic cursor; each record lands in a
+// pre-sized slot, so the result vector is in campaign order no matter
+// which worker ran what. A throwing trial is captured in its record
+// (failed/error) and never takes down the pool. Because every trial owns
+// its simulation outright, results are byte-identical for any job count.
+#pragma once
+
+#include "exp/campaign.hpp"
+#include "exp/results.hpp"
+
+namespace gfc::exp {
+
+struct PoolOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int jobs = 1;
+  /// Live "done/total + ETA" line on progress_out (stderr); wall-clock
+  /// only ever goes here, never into results.
+  bool progress = false;
+  std::FILE* progress_out = nullptr;  // nullptr -> stderr
+};
+
+CampaignResult run_campaign(const Campaign& campaign,
+                            const PoolOptions& opts = {});
+
+}  // namespace gfc::exp

@@ -59,11 +59,18 @@ FcSetup FcSetup::gfc_conceptual(std::int64_t b0, std::int64_t bm,
   return s;
 }
 
-FcSetup FcSetup::derive(FcKind kind, std::int64_t buffer, sim::Rate c,
-                        sim::TimePs tau, std::int64_t mtu) {
+namespace {
+
+struct Derived {
+  FcSetup setup;
+  bool feasible = true;
+};
+
+Derived derive_impl(FcKind kind, std::int64_t buffer, sim::Rate c,
+                    sim::TimePs tau, std::int64_t mtu) {
   switch (kind) {
     case FcKind::kNone:
-      return none();
+      return {FcSetup::none(), true};
     case FcKind::kPfc: {
       // C*tau of in-flight absorption plus packet-granularity slack: one
       // MTU already serializing when the PAUSE is triggered, one more that
@@ -71,35 +78,50 @@ FcSetup FcSetup::derive(FcKind kind, std::int64_t buffer, sim::Rate c,
       const std::int64_t headroom =
           core::bytes_over(c, tau) + 2 * mtu + 2 * net::kControlFrameBytes;
       const std::int64_t xoff = std::max<std::int64_t>(buffer - headroom, 2 * mtu + 1);
-      return pfc(xoff, std::max<std::int64_t>(xoff - 2 * mtu, 1));
+      return {FcSetup::pfc(xoff, std::max<std::int64_t>(xoff - 2 * mtu, 1)),
+              true};
     }
     case FcKind::kCbfc:
-      return cbfc(core::cbfc_recommended_period(c));
+      return {FcSetup::cbfc(core::cbfc_recommended_period(c)), true};
     case FcKind::kGfcBuffer: {
       // The paper's bounds are fluid-model ("B_m can be set equal to B");
       // packets are not fluid, and the rate floor means a saturated queue
       // can creep past B_m slowly, so leave a few MTUs of slack.
       const std::int64_t bm = buffer - 4 * mtu;
       const std::int64_t b1 = core::b1_bound_buffer(bm, c, tau) - 2 * mtu;
-      assert(b1 > 0 && "buffer must exceed 2*C*tau");
-      return gfc_buffer(b1, bm);
+      return {FcSetup::gfc_buffer(b1, bm), b1 > 0};
     }
     case FcKind::kGfcTime: {
       const sim::TimePs period = core::cbfc_recommended_period(c);
       const std::int64_t bm = buffer - 4 * mtu;
       const std::int64_t b0 =
           core::b0_bound_timebased(bm, c, tau, period) - 2 * mtu;
-      assert(b0 > 0 && "buffer must exceed (sqrt(tau/T)+1)^2*C*T");
-      return gfc_time(b0, bm, period);
+      return {FcSetup::gfc_time(b0, bm, period), b0 > 0};
     }
     case FcKind::kGfcConceptual: {
       const std::int64_t bm = buffer - 4 * mtu;
       const std::int64_t b0 = core::b0_bound_conceptual(bm, c, tau) - 2 * mtu;
-      assert(b0 > 0 && "buffer must exceed 4*C*tau");
-      return gfc_conceptual(b0, bm);
+      return {FcSetup::gfc_conceptual(b0, bm), b0 > 0};
     }
   }
-  return none();
+  return {FcSetup::none(), true};
+}
+
+}  // namespace
+
+FcSetup FcSetup::derive(FcKind kind, std::int64_t buffer, sim::Rate c,
+                        sim::TimePs tau, std::int64_t mtu) {
+  const Derived d = derive_impl(kind, buffer, c, tau, mtu);
+  assert(d.feasible && "buffer too small for this kind's safety bound");
+  return d.setup;
+}
+
+std::optional<FcSetup> FcSetup::try_derive(FcKind kind, std::int64_t buffer,
+                                           sim::Rate c, sim::TimePs tau,
+                                           std::int64_t mtu) {
+  const Derived d = derive_impl(kind, buffer, c, tau, mtu);
+  if (!d.feasible) return std::nullopt;
+  return d.setup;
 }
 
 }  // namespace gfc::runner

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/mapping.hpp"
@@ -62,8 +63,18 @@ struct FcSetup {
   /// worst-case tau: PFC gets XOFF = buffer - C*tau headroom (XON 2 MTU
   /// lower), CBFC the recommended 65535 B period, buffer-based GFC
   /// B_1 = B_m - 2*C*tau, time-based GFC B_0 from Theorem 5.1.
+  /// Asserts the buffer admits a positive threshold (use try_derive when
+  /// sweeping buffers that may be too small for the given tau).
   static FcSetup derive(FcKind kind, std::int64_t buffer, sim::Rate c,
                         sim::TimePs tau, std::int64_t mtu = 1500);
+
+  /// Like derive(), but returns nullopt when the Theorem 4.1 / 5.1 / B_1
+  /// bound (with derive()'s packet-granularity slack) leaves no positive
+  /// threshold — i.e. the buffer is too small to run that GFC variant
+  /// safely at this rate and tau. PFC/CBFC/none are always derivable.
+  static std::optional<FcSetup> try_derive(FcKind kind, std::int64_t buffer,
+                                           sim::Rate c, sim::TimePs tau,
+                                           std::int64_t mtu = 1500);
 };
 
 struct ScenarioConfig {

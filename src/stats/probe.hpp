@@ -49,8 +49,15 @@ struct TimeSeries {
   void add(sim::TimePs t, double v) { points.push_back({t, v}); }
   double last() const { return points.empty() ? 0.0 : points.back().second; }
   double max() const {
-    double m = 0;
+    if (points.empty()) return 0.0;
+    double m = points.front().second;
     for (const auto& [t, v] : points) m = v > m ? v : m;
+    return m;
+  }
+  double min() const {
+    if (points.empty()) return 0.0;
+    double m = points.front().second;
+    for (const auto& [t, v] : points) m = v < m ? v : m;
     return m;
   }
   /// Mean of samples with t in [from, to).

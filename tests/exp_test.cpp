@@ -1,0 +1,202 @@
+// Unit tests for the experiment-campaign subsystem: value/JSON rendering,
+// grid expansion, worker-pool failure capture, and the determinism
+// guarantee (a campaign of real simulations serializes to identical bytes
+// for --jobs 1 and --jobs 8).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/cli.hpp"
+#include "exp/worker_pool.hpp"
+#include "runner/scenarios.hpp"
+#include "stats/deadlock.hpp"
+#include "stats/throughput.hpp"
+
+namespace gfc::exp {
+namespace {
+
+TEST(Value, JsonRendering) {
+  EXPECT_EQ(Value(true).json(), "true");
+  EXPECT_EQ(Value(false).json(), "false");
+  EXPECT_EQ(Value(std::int64_t{-42}).json(), "-42");
+  EXPECT_EQ(Value(7).json(), "7");
+  EXPECT_EQ(Value(0.06).json(), "0.06");  // shortest round-trip, no 0.059999...
+  EXPECT_EQ(Value(5.0).json(), "5");
+  EXPECT_EQ(Value("plain").json(), "\"plain\"");
+  EXPECT_EQ(Value("q\"uote\\n").json(), "\"q\\\"uote\\\\n\"");
+  EXPECT_EQ(Value("tab\there").json(), "\"tab\\there\"");
+}
+
+TEST(Value, DoubleRoundTrips) {
+  const double v = 3.2800000000000002;
+  const std::string s = Value(v).json();
+  EXPECT_EQ(std::stod(s), v);
+}
+
+TEST(ParamSet, OrderedAndOverwritable) {
+  ParamSet p;
+  p.set("b", 1);
+  p.set("a", 2);
+  p.set("b", 3);  // overwrite keeps position
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.json(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(p.find("a"), nullptr);
+  EXPECT_EQ(p.find("a")->as_int(), 2);
+  EXPECT_EQ(p.find("missing"), nullptr);
+}
+
+TEST(Grid, CrossProductRowMajor) {
+  Grid g;
+  g.axis("fc", {"PFC", "GFC"});
+  g.axis("seed", {1, 2, 3});
+  EXPECT_EQ(g.size(), 6u);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 6u);
+  // First axis varies slowest.
+  EXPECT_EQ(pts[0].find("fc")->as_string(), "PFC");
+  EXPECT_EQ(pts[0].find("seed")->as_int(), 1);
+  EXPECT_EQ(pts[2].find("fc")->as_string(), "PFC");
+  EXPECT_EQ(pts[2].find("seed")->as_int(), 3);
+  EXPECT_EQ(pts[3].find("fc")->as_string(), "GFC");
+  EXPECT_EQ(pts[3].find("seed")->as_int(), 1);
+}
+
+TEST(Grid, EmptyGridIsOnePoint) {
+  Grid g;
+  EXPECT_EQ(g.size(), 1u);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(pts[0].empty());
+}
+
+TEST(Grid, EmptyAxisCollapses) {
+  Grid g;
+  g.axis("seed", {1, 2});
+  g.axis("nothing", {});
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(g.points().empty());
+}
+
+TEST(WorkerPool, ResultsInCampaignOrderAnyJobCount) {
+  for (int jobs : {1, 4}) {
+    Campaign c;
+    c.name = "order";
+    for (int i = 0; i < 17; ++i) {
+      ParamSet p;
+      p.set("i", i);
+      c.add("t" + std::to_string(i), p,
+            [i] { return TrialResult().add("square", std::int64_t{i} * i); });
+    }
+    const CampaignResult r = run_campaign(c, PoolOptions{jobs, false, nullptr});
+    ASSERT_EQ(r.trials.size(), 17u);
+    EXPECT_EQ(r.jobs, jobs);
+    for (int i = 0; i < 17; ++i) {
+      EXPECT_EQ(r.trials[static_cast<std::size_t>(i)].name,
+                "t" + std::to_string(i));
+      EXPECT_EQ(r.trials[static_cast<std::size_t>(i)]
+                    .metrics.find("square")
+                    ->as_int(),
+                std::int64_t{i} * i);
+    }
+  }
+}
+
+TEST(WorkerPool, ThrowingTrialIsCapturedNotFatal) {
+  Campaign c;
+  c.name = "failures";
+  c.add("ok1", {}, [] { return TrialResult().add("v", 1); });
+  c.add("boom", {}, []() -> TrialResult {
+    throw std::runtime_error("synthetic trial failure");
+  });
+  c.add("ok2", {}, [] { return TrialResult().add("v", 2); });
+  const CampaignResult r = run_campaign(c, PoolOptions{4, false, nullptr});
+  ASSERT_EQ(r.trials.size(), 3u);
+  EXPECT_EQ(r.failures(), 1u);
+  EXPECT_FALSE(r.trials[0].failed);
+  EXPECT_TRUE(r.trials[1].failed);
+  EXPECT_EQ(r.trials[1].error, "synthetic trial failure");
+  EXPECT_TRUE(r.trials[1].metrics.empty());
+  EXPECT_FALSE(r.trials[2].failed);
+  ASSERT_NE(r.find("boom"), nullptr);
+  EXPECT_TRUE(r.find("boom")->failed);
+  // Failure shows up in JSON as failed/error, not metrics.
+  EXPECT_NE(r.json().find("\"failed\": true"), std::string::npos);
+  EXPECT_NE(r.json().find("synthetic trial failure"), std::string::npos);
+}
+
+TEST(WorkerPool, NonExceptionThrowCaptured) {
+  Campaign c;
+  c.name = "odd-throw";
+  c.add("weird", {}, []() -> TrialResult { throw 42; });
+  const CampaignResult r = run_campaign(c, PoolOptions{2, false, nullptr});
+  ASSERT_EQ(r.trials.size(), 1u);
+  EXPECT_TRUE(r.trials[0].failed);
+  EXPECT_EQ(r.trials[0].error, "unknown exception");
+}
+
+// The load-bearing guarantee: each trial owns a private Scheduler/Network,
+// so a campaign of real deterministic sims must serialize to byte-identical
+// JSON regardless of worker count or interleaving.
+Campaign small_sim_campaign() {
+  using namespace gfc::runner;
+  Campaign c;
+  c.name = "determinism";
+  const FcKind kinds[] = {FcKind::kPfc, FcKind::kGfcBuffer};
+  for (const FcKind kind : kinds) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ParamSet p;
+      p.set("fc", fc_name(kind));
+      p.set("seed", seed);
+      c.add(std::string(fc_name(kind)) + "/" + std::to_string(seed), p,
+            [kind, seed] {
+              ScenarioConfig cfg;
+              cfg.seed = seed;
+              cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate,
+                                       cfg.tau());
+              RingScenario s = make_ring(cfg);
+              net::Network& net = s.fabric->net();
+              stats::ThroughputSampler tp(net, sim::us(100));
+              stats::DeadlockDetector det(net);
+              net.run_until(sim::ms(2));
+              return TrialResult()
+                  .add("deadlocked", det.deadlocked())
+                  .add("gbps", tp.average_gbps(0, sim::ms(1), sim::ms(2)))
+                  .add("violations", net.counters().lossless_violations);
+            });
+    }
+  }
+  return c;
+}
+
+TEST(WorkerPool, CampaignJsonByteIdenticalAcrossJobCounts) {
+  const CampaignResult r1 =
+      run_campaign(small_sim_campaign(), PoolOptions{1, false, nullptr});
+  const CampaignResult r8 =
+      run_campaign(small_sim_campaign(), PoolOptions{8, false, nullptr});
+  EXPECT_EQ(r1.json(), r8.json());
+  // Default JSON carries no wall-clock or job-count fields at all.
+  EXPECT_EQ(r1.json().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(r1.json().find("jobs"), std::string::npos);
+  // Opting into timing metadata adds them (jobs clamps to the 6 trials).
+  EXPECT_NE(r1.json(true).find("wall_ms"), std::string::npos);
+  EXPECT_NE(r8.json(true).find("\"jobs\": 6"), std::string::npos);
+}
+
+TEST(Cli, ParsesCampaignFlags) {
+  const char* argv[] = {"prog", "--quick", "--jobs", "6", "--json",
+                        "/tmp/out.json", "--timing", "--no-progress"};
+  const CliOptions o = parse_cli(8, const_cast<char**>(argv));
+  EXPECT_TRUE(o.quick);
+  EXPECT_EQ(o.jobs, 6);
+  EXPECT_EQ(o.json_path, "/tmp/out.json");
+  EXPECT_TRUE(o.timing);
+  EXPECT_FALSE(o.progress);
+  const char* argv2[] = {"prog", "--jobs=3", "--json=x.json"};
+  const CliOptions o2 = parse_cli(3, const_cast<char**>(argv2));
+  EXPECT_EQ(o2.jobs, 3);
+  EXPECT_EQ(o2.json_path, "x.json");
+  EXPECT_FALSE(o2.quick);
+}
+
+}  // namespace
+}  // namespace gfc::exp

@@ -7,6 +7,7 @@
 #include "stats/deadlock.hpp"
 #include "stats/feedback.hpp"
 #include "stats/flow_stats.hpp"
+#include "stats/probe.hpp"
 #include "stats/throughput.hpp"
 
 namespace gfc::stats {
@@ -30,6 +31,30 @@ TEST(Cdf, QuantilesAndMoments) {
   EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
   EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
   EXPECT_LE(pts.front().first, pts.back().first);
+}
+
+TEST(TimeSeries, MaxSeedsFromFirstSample) {
+  TimeSeries ts;
+  ts.add(0, -5.0);
+  ts.add(us(1), -2.5);
+  ts.add(us(2), -9.0);
+  // Regression: max() used to start its accumulator at 0, so an
+  // all-negative series wrongly reported 0.
+  EXPECT_DOUBLE_EQ(ts.max(), -2.5);
+  EXPECT_DOUBLE_EQ(ts.min(), -9.0);
+}
+
+TEST(TimeSeries, MinMaxMixedAndEmpty) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+  ts.add(0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.min(), 3.0);
+  ts.add(us(1), -1.0);
+  ts.add(us(2), 7.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.min(), -1.0);
 }
 
 TEST(Cdf, EmptyIsSafe) {
