@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
 
   exp::Campaign campaign;
   campaign.name = "fig16_17_overall";
+  campaign.seed = cli.seed;
 
   // --- (a) CBD-free cases: closed-loop workload for every mechanism ------
   for (int m = 0; m < 4; ++m) {
@@ -105,12 +106,13 @@ int main(int argc, char** argv) {
       p.set("mechanism", names[m]);
       p.set("seed", seed);
       const FcKind kind = kinds[m];
+      const std::uint64_t base = cli.seed;
       campaign.add("a/" + std::string(names[m]) + "/seed" + std::to_string(seed),
-                   std::move(p), [kind, k, seed] {
+                   std::move(p), [kind, k, seed, base] {
                      auto s = make_random_fattree(config_for(kind), k, 0.05, seed);
                      RunOptions opts;
                      opts.duration = sim::ms(12);
-                     opts.workload_seed = 1000 + seed;
+                     opts.workload_seed = 1000 + seed + base;
                      const RunSummary r = run_closed_loop(s, opts);
                      return exp::TrialResult()
                          .add("deadlocked", r.deadlocked)
@@ -135,11 +137,12 @@ int main(int argc, char** argv) {
       p.set("mechanism", names[m]);
       p.set("seed", c.seed);
       const FcKind kind = kinds[m];
-      auto run_gfc = [kind, k, c] {
+      const std::uint64_t base = cli.seed;
+      auto run_gfc = [kind, k, c, base] {
         auto s = make_fattree(config_for(kind), k, c.failed);
         RunOptions opts;
         opts.duration = sim::ms(12);
-        opts.workload_seed = 77 + c.seed;
+        opts.workload_seed = 77 + c.seed + base;
         const RunSummary r = run_closed_loop(s, opts);
         return exp::TrialResult()
             .add("deadlocked", r.deadlocked)

@@ -33,6 +33,9 @@ struct Trial {
 
 struct Campaign {
   std::string name;
+  /// Base RNG-seed offset the trials were built with (--seed); recorded in
+  /// the results header so a JSON artifact is reproducible from itself.
+  std::uint64_t seed = 0;
   std::vector<Trial> trials;
 
   Trial& add(std::string trial_name, ParamSet params,

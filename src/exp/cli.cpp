@@ -10,8 +10,8 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog, const char* bad) {
   std::fprintf(stderr, "unknown or incomplete argument: %s\n", bad);
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--json PATH] [--timing] "
-               "[--no-progress]\n",
+               "usage: %s [--quick] [--jobs N] [--seed N] [--json PATH] "
+               "[--timing] [--no-progress]\n",
                prog);
   std::exit(2);
 }
@@ -33,6 +33,11 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.jobs = std::atoi(argv[++i]);
     } else if (!std::strncmp(a, "--jobs=", 7)) {
       opts.jobs = std::atoi(a + 7);
+    } else if (!std::strcmp(a, "--seed")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strncmp(a, "--seed=", 7)) {
+      opts.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (!std::strcmp(a, "--json")) {
       if (i + 1 >= argc) usage_and_exit(argv[0], a);
       opts.json_path = argv[++i];
@@ -46,7 +51,14 @@ CliOptions parse_cli(int argc, char** argv) {
 }
 
 bool finish_cli(const CliOptions& opts, const CampaignResult& result) {
-  if (opts.json_path.empty()) return true;
+  bool ok = true;
+  for (const auto& t : result.trials)
+    if (t.failed) {
+      std::fprintf(stderr, "trial %s failed: %s\n", t.name.c_str(),
+                   t.error.c_str());
+      ok = false;
+    }
+  if (opts.json_path.empty()) return ok;
   if (!result.write_json(opts.json_path, opts.timing)) {
     std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
     return false;
@@ -54,7 +66,7 @@ bool finish_cli(const CliOptions& opts, const CampaignResult& result) {
   std::fprintf(stderr, "wrote %s (%zu trials, %zu failed)\n",
                opts.json_path.c_str(), result.trials.size(),
                result.failures());
-  return true;
+  return ok;
 }
 
 }  // namespace gfc::exp

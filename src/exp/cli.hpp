@@ -1,6 +1,7 @@
 // Shared command-line surface for campaign binaries:
 //   --jobs N      worker threads (0 = all cores)        [default 1]
 //   --quick       shrunken sweep for smoke runs
+//   --seed N      offset added to every trial's RNG seeds [default 0]
 //   --json PATH   write the campaign's JSON results to PATH
 //   --timing      include wall-clock metadata in the JSON
 //   --no-progress suppress the live progress/ETA line
@@ -17,6 +18,10 @@ struct CliOptions {
   bool quick = false;
   bool timing = false;
   bool progress = true;
+  /// Base seed offset: campaign binaries add it to every trial's RNG seeds
+  /// (sim, workload and fault streams) and stamp it into Campaign::seed.
+  /// Zero — the default — reproduces the historical fixed-seed outputs.
+  std::uint64_t seed = 0;
   std::string json_path;  // empty = don't write JSON
 
   PoolOptions pool() const {
@@ -31,8 +36,11 @@ struct CliOptions {
 /// prints usage to stderr and exits with status 2.
 CliOptions parse_cli(int argc, char** argv);
 
-/// If `--json` was given, write `result` there (honoring `--timing`) and
-/// print a one-line confirmation; false only on I/O failure.
+/// Standard campaign epilogue: if `--json` was given, write `result` there
+/// (honoring `--timing`) and print a one-line confirmation. Lists every
+/// failed trial on stderr. False — callers should exit nonzero — on I/O
+/// failure or when any trial failed, so a broken trial can't hide inside a
+/// green pipeline.
 bool finish_cli(const CliOptions& opts, const CampaignResult& result);
 
 }  // namespace gfc::exp

@@ -22,6 +22,7 @@ std::string CampaignResult::json(bool include_timing) const {
   out += "{\n";
   out += "  \"schema\": " + Value::quote(kCampaignSchema) + ",\n";
   out += "  \"campaign\": " + Value::quote(campaign) + ",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
   if (include_timing) {
     out += "  \"jobs\": " + std::to_string(jobs) + ",\n";
     out += "  \"wall_ms\": " + Value(wall_ms).json() + ",\n";

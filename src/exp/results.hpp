@@ -25,6 +25,7 @@ struct TrialRecord {
 
 struct CampaignResult {
   std::string campaign;
+  std::uint64_t seed = 0;           // base seed offset (Campaign::seed)
   std::vector<TrialRecord> trials;  // always in Campaign::trials order
   int jobs = 1;        // timing metadata
   double wall_ms = 0;  // timing metadata

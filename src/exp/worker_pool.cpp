@@ -71,6 +71,7 @@ CampaignResult run_campaign(const Campaign& campaign, const PoolOptions& opts) {
   const std::size_t n = campaign.trials.size();
   CampaignResult result;
   result.campaign = campaign.name;
+  result.seed = campaign.seed;
   result.trials.resize(n);
 
   int jobs = opts.jobs;

@@ -1,0 +1,40 @@
+#include "fault/fault.hpp"
+
+namespace gfc::fault {
+
+FaultPlan::FaultPlan(net::Network& net, const FaultConfig& cfg)
+    : net_(net), cfg_(cfg), rng_(cfg.seed) {
+  net_.set_fault_hook(this);
+}
+
+FaultPlan::~FaultPlan() {
+  if (net_.fault_hook() == this) net_.set_fault_hook(nullptr);
+}
+
+net::ControlFaultHook::Verdict FaultPlan::on_control_frame(
+    const net::Packet& pkt) {
+  const auto& r = cfg_.rates[static_cast<std::size_t>(pkt.type)];
+  if (!r.any()) return {};
+  const sim::TimePs now = net_.sched().now();
+  if (now < cfg_.active_from || now >= cfg_.active_until) return {};
+  ++counters_.consulted;
+  // One draw per frame, stacked thresholds: keeps the random stream's
+  // length independent of which fault class fires.
+  const double u = rng_.uniform_real();
+  if (u < r.drop) {
+    ++counters_.dropped;
+    ++counters_.dropped_by_type[static_cast<std::size_t>(pkt.type)];
+    return {Action::kDrop, 0};
+  }
+  if (u < r.drop + r.dup) {
+    ++counters_.duplicated;
+    return {Action::kDuplicate, 0};
+  }
+  if (u < r.drop + r.dup + r.delay_prob) {
+    ++counters_.delayed;
+    return {Action::kDelay, r.delay};
+  }
+  return {};
+}
+
+}  // namespace gfc::fault

@@ -1,0 +1,58 @@
+#include "fault/link_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfc::fault {
+
+LinkScheduler::LinkScheduler(net::Network& net,
+                             std::function<void(const LinkEvent&)> on_change)
+    : net_(net), on_change_(std::move(on_change)) {}
+
+void LinkScheduler::schedule(const LinkEvent& ev) {
+  assert(ev.at >= net_.sched().now());
+  net_.sched().schedule_at(ev.at, [this, ev] { apply(ev); });
+}
+
+void LinkScheduler::schedule_flap(net::NodeId a, net::NodeId b,
+                                  sim::TimePs down_at, sim::TimePs up_at) {
+  assert(down_at < up_at);
+  schedule(LinkEvent{down_at, a, b, /*up=*/false});
+  schedule(LinkEvent{up_at, a, b, /*up=*/true});
+}
+
+void LinkScheduler::apply(const LinkEvent& ev) {
+  net_.set_link_state(ev.a, ev.b, ev.up);
+  if (ev.up) {
+    ++ups_;
+  } else {
+    ++downs_;
+  }
+  if (on_change_) on_change_(ev);
+  // Move stranded packets after routing settled; for an `up` transition the
+  // pass is a no-op unless other links are still down.
+  if (!ev.up) net_.reroute_stranded();
+}
+
+std::vector<LinkEvent> LinkScheduler::random_flaps(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& links,
+    sim::Rng& rng, int count, sim::TimePs window_from, sim::TimePs window_until,
+    sim::TimePs outage) {
+  assert(!links.empty() && window_until > window_from);
+  std::vector<LinkEvent> out;
+  out.reserve(static_cast<std::size_t>(count) * 2);
+  for (int i = 0; i < count; ++i) {
+    const auto& [a, b] = links[rng.pick_index(links.size())];
+    const sim::TimePs down_at =
+        rng.uniform_int(window_from, window_until - 1);
+    out.push_back(LinkEvent{down_at, a, b, /*up=*/false});
+    out.push_back(LinkEvent{down_at + outage, a, b, /*up=*/true});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LinkEvent& x, const LinkEvent& y) {
+                     return x.at < y.at;
+                   });
+  return out;
+}
+
+}  // namespace gfc::fault

@@ -20,8 +20,18 @@ void CbfcModule::on_attach() {
   }
   // Only switches do ingress accounting, hence only they advertise.
   if (as_switch() != nullptr) {
-    for (int p = 0; p < node().port_count(); ++p) arm_timer(p);
+    for (int p = 0; p < node().port_count(); ++p) {
+      arm_timer(p);
+      if (cfg_.sync_period > 0) arm_sync(p);
+    }
   }
+}
+
+void CbfcModule::arm_sync(int port) {
+  sched().schedule_in(cfg_.sync_period, [this, port] {
+    send_credits(port);
+    arm_sync(port);
+  });
 }
 
 void CbfcModule::arm_timer(int port) {

@@ -19,6 +19,15 @@ struct CbfcConfig {
   std::int64_t buffer_bytes = 0;    // advertised per (port, prio) credit pool
   std::int64_t block_bytes = 64;    // IB credit granularity
 
+  /// Optional credit-sync cadence (0 = off): an extra full FCCL
+  /// re-advertisement every sync_period. CBFC's primary advertisements are
+  /// already periodic *and cumulative*, so a single lost credit frame heals
+  /// within one `period` on its own; the sync timer exists to bound repair
+  /// under correlated loss (a flapping link dropping several consecutive
+  /// advertisements) and to make the repair cadence an explicit knob in the
+  /// fault studies. Off by default; zero keeps seed behavior bit-for-bit.
+  sim::TimePs sync_period = 0;
+
   std::int64_t buffer_blocks() const { return buffer_bytes / block_bytes; }
   std::int64_t blocks_for(std::int64_t bytes) const {
     return (bytes + block_bytes - 1) / block_bytes;
@@ -73,6 +82,7 @@ class CbfcModule final : public LinkFcBase {
 
   void send_credits(int port);
   void arm_timer(int port);
+  void arm_sync(int port);
 
   CbfcConfig cfg_;
   /// Downstream: cumulative forwarded blocks per (port, prio).

@@ -8,6 +8,7 @@ void PfcModule::on_attach() {
   assert(cfg_.xon_bytes < cfg_.xoff_bytes && cfg_.xon_bytes >= 0);
   const auto n = static_cast<std::size_t>(node().port_count());
   pause_sent_.assign(n, {});
+  refresh_.assign(n, {});
   gates_.assign(n, nullptr);
   for (int p = 0; p < node().port_count(); ++p) {
     auto gate = std::make_unique<PauseGate>();
@@ -16,12 +17,35 @@ void PfcModule::on_attach() {
   }
 }
 
+void PfcModule::arm_refresh(int port, int prio) {
+  auto& ev = refresh_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)];
+  ev = sched().schedule_in(cfg_.pause_timeout / 2, [this, port, prio] {
+    refresh_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] = {};
+    if (!pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)])
+      return;
+    // Keep the upstream's quanta topped up (and repair a lost PAUSE).
+    Packet* frame = node().make_control(PacketType::kPfcPause);
+    frame->fc_priority = prio;
+    node().send_control(port, frame);
+    arm_refresh(port, prio);
+  });
+}
+
 void PfcModule::send_pause_state(int port, int prio, bool pause) {
   Packet* frame = node().make_control(pause ? PacketType::kPfcPause
                                             : PacketType::kPfcResume);
   frame->fc_priority = prio;
   node().send_control(port, frame);
   pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] = pause;
+  if (cfg_.pause_timeout > 0) {
+    auto& ev =
+        refresh_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)];
+    if (ev.valid()) {
+      sched().cancel(ev);
+      ev = {};
+    }
+    if (pause) arm_refresh(port, prio);
+  }
 }
 
 void PfcModule::on_ingress_enqueue(int port, int prio, const Packet& pkt) {
@@ -46,8 +70,20 @@ void PfcModule::on_ingress_dequeue(int port, int prio, const Packet&) {
 void PfcModule::on_control(int port, const Packet& pkt) {
   if (pkt.type != PacketType::kPfcPause && pkt.type != PacketType::kPfcResume) return;
   PauseGate* gate = gates_[static_cast<std::size_t>(port)];
-  gate->set_paused(pkt.fc_priority, pkt.type == PacketType::kPfcPause);
+  if (pkt.type == PacketType::kPfcPause) {
+    gate->set_paused_until(pkt.fc_priority,
+                           cfg_.pause_timeout > 0
+                               ? sched().now() + cfg_.pause_timeout
+                               : sim::kTimeNever);
+  } else {
+    gate->set_paused_until(pkt.fc_priority, 0);
+  }
   node().port(port).kick();
+}
+
+bool PfcModule::gate_paused(int port, int prio) {
+  const PauseGate* gate = gates_[static_cast<std::size_t>(port)];
+  return gate != nullptr && gate->paused(prio, sched().now());
 }
 
 }  // namespace gfc::flowctl

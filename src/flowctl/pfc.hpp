@@ -5,6 +5,15 @@
 // Upstream half: a paused priority cannot start new data transmissions.
 // The buffer above XOFF is the headroom that absorbs in-flight packets; it
 // must cover C * tau or the lossless-violation counter will fire.
+//
+// Optional pause expiry (pause_timeout > 0) models the 802.1Qbb pause
+// quanta: a received PAUSE only holds for the timeout and the downstream
+// refreshes outstanding pauses every timeout/2. This makes PFC self-healing
+// under control-frame loss — a lost RESUME un-wedges when the quanta run
+// out, a lost PAUSE is re-sent by the refresh — at the cost of the classic
+// edge-triggered hold-forever semantics (and of headroom: an expired pause
+// that should still stand readmits traffic into a full buffer). Off by
+// default; zero-timeout behavior is bit-for-bit the seed's.
 #pragma once
 
 #include <memory>
@@ -16,6 +25,9 @@ namespace gfc::flowctl {
 struct PfcConfig {
   std::int64_t xoff_bytes = 0;
   std::int64_t xon_bytes = 0;  // must be < xoff_bytes
+
+  /// 802.1Qbb-style pause expiry; 0 = classic indefinite pauses.
+  sim::TimePs pause_timeout = 0;
 
   /// Recommended XON gap of 2 MTU below XOFF (paper Sec 4.1 / [59]).
   static PfcConfig for_buffer(std::int64_t xoff, std::int64_t mtu = 1500) {
@@ -38,31 +50,44 @@ class PfcModule final : public LinkFcBase {
   bool pause_sent(int port, int prio) const {
     return pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)];
   }
+  /// Upstream view: is this port's gate currently blocking `prio`?
+  bool gate_paused(int port, int prio);
 
  protected:
   void on_attach() override;
 
  private:
-  /// Upstream-side gate: blocks paused priorities.
+  /// Upstream-side gate: blocks paused priorities until the pause expires
+  /// (kTimeNever = indefinite, the classic edge-triggered mode).
   class PauseGate final : public net::TxGate {
    public:
-    bool allowed(const Packet& pkt, sim::TimePs, sim::TimePs*) override {
-      return !paused_[pkt.priority];
+    bool allowed(const Packet& pkt, sim::TimePs now, sim::TimePs* wake_at) override {
+      const sim::TimePs until = paused_until_[pkt.priority];
+      if (now >= until) return true;
+      // A finite pause is its own wake-up (the port self-heals); an
+      // indefinite one waits for the RESUME kick.
+      if (until != sim::kTimeNever && until < *wake_at) *wake_at = until;
+      return false;
     }
     void on_transmit(const Packet&, sim::TimePs) override {}
-    void set_paused(int prio, bool paused) {
-      paused_[static_cast<std::size_t>(prio)] = paused;
+    void set_paused_until(int prio, sim::TimePs until) {
+      paused_until_[static_cast<std::size_t>(prio)] = until;
     }
-    bool paused(int prio) const { return paused_[static_cast<std::size_t>(prio)]; }
+    bool paused(int prio, sim::TimePs now) const {
+      return now < paused_until_[static_cast<std::size_t>(prio)];
+    }
 
    private:
-    std::array<bool, kNumPriorities> paused_{};
+    std::array<sim::TimePs, kNumPriorities> paused_until_{};  // 0 = open
   };
 
   void send_pause_state(int port, int prio, bool pause);
+  void arm_refresh(int port, int prio);
 
   PfcConfig cfg_;
   std::vector<std::array<bool, kNumPriorities>> pause_sent_;
+  /// Pending pause-refresh timers (only armed when pause_timeout > 0).
+  std::vector<std::array<sim::EventId, kNumPriorities>> refresh_;
   std::vector<PauseGate*> gates_;  // owned by the egress ports
 };
 

@@ -1,5 +1,6 @@
 #include "net/channel.hpp"
 
+#include "net/fault_hook.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
 
@@ -8,9 +9,39 @@ namespace gfc::net {
 Channel::Channel(Network& net, Node& dst, int dst_port, sim::TimePs prop_delay)
     : net_(net), dst_(dst), dst_port_(dst_port), prop_delay_(prop_delay) {}
 
+void Channel::propagate(Packet* pkt, sim::TimePs delay) {
+  net_.sched().schedule_in(delay, [this, pkt] {
+    // Arrival-time check: a link that went down mid-propagation loses the
+    // frame (both PHYs are gone; there is no store-and-forward on a wire).
+    if (!up_) {
+      ++net_.counters().wire_lost_packets;
+      net_.free_packet(pkt);
+      return;
+    }
+    dst_.receive(pkt, dst_port_);
+  });
+}
+
 void Channel::deliver(Packet* pkt) {
-  net_.sched().schedule_in(prop_delay_,
-                           [this, pkt] { dst_.receive(pkt, dst_port_); });
+  if (pkt->is_control()) {
+    if (ControlFaultHook* hook = net_.fault_hook()) {
+      const ControlFaultHook::Verdict v = hook->on_control_frame(*pkt);
+      switch (v.action) {
+        case ControlFaultHook::Action::kDrop:
+          net_.free_packet(pkt);
+          return;
+        case ControlFaultHook::Action::kDuplicate:
+          propagate(net_.clone_control(*pkt), prop_delay_);
+          break;  // the original still propagates normally
+        case ControlFaultHook::Action::kDelay:
+          propagate(pkt, prop_delay_ + v.extra_delay);
+          return;
+        case ControlFaultHook::Action::kDeliver:
+          break;
+      }
+    }
+  }
+  propagate(pkt, prop_delay_);
 }
 
 }  // namespace gfc::net

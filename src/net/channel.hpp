@@ -1,6 +1,12 @@
 // Unidirectional wire: fixed propagation delay to a (node, port) endpoint.
 // Serialization happens at the egress port; the channel only delays
 // delivery, so any number of packets may be "on the wire" at once.
+//
+// The channel is also where runtime faults live: link-control frames are
+// offered to the Network's ControlFaultHook (drop / duplicate / delay) as
+// they enter the wire, and a downed channel loses whatever is in flight
+// when the propagation delay elapses — exactly the failure mode that makes
+// edge-triggered protocols (PFC) lose XOFF/XON state.
 #pragma once
 
 #include "net/packet.hpp"
@@ -15,18 +21,27 @@ class Channel {
  public:
   Channel(Network& net, Node& dst, int dst_port, sim::TimePs prop_delay);
 
-  /// Hand over a fully transmitted packet; it arrives after prop_delay.
+  /// Hand over a fully transmitted packet; it arrives after prop_delay
+  /// (subject to fault injection for link-control frames).
   void deliver(Packet* pkt);
+
+  /// Link state. Packets already propagating when the link goes down are
+  /// lost at their arrival instant (counted in Counters::wire_lost_packets).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
 
   sim::TimePs prop_delay() const { return prop_delay_; }
   Node& dst() { return dst_; }
   int dst_port() const { return dst_port_; }
 
  private:
+  void propagate(Packet* pkt, sim::TimePs delay);
+
   Network& net_;
   Node& dst_;
   int dst_port_;
   sim::TimePs prop_delay_;
+  bool up_ = true;
 };
 
 }  // namespace gfc::net

@@ -47,6 +47,46 @@ std::pair<int, int> Network::connect(NodeId a, NodeId b, sim::Rate rate,
   return {pa, pb};
 }
 
+int Network::find_port(NodeId from, NodeId to) const {
+  const Node& n = node(from);
+  for (int p = 0; p < n.port_count(); ++p)
+    if (n.peer(p).node == to) return p;
+  return -1;
+}
+
+void Network::set_link_state(NodeId a, NodeId b, bool up) {
+  const int pa = find_port(a, b);
+  assert(pa >= 0 && "set_link_state on non-adjacent nodes");
+  const int pb = node(a).peer(pa).port;
+  EgressPort& ea = node(a).port(pa);
+  EgressPort& eb = node(b).port(pb);
+  ea.set_link_up(up);
+  eb.set_link_up(up);
+  if (up) {
+    ea.kick();
+    eb.kick();
+  }
+}
+
+void Network::reroute_stranded() {
+  for (auto& n : nodes_)
+    if (auto* s = dynamic_cast<SwitchNode*>(n.get())) s->reroute_stranded();
+}
+
+Packet* Network::clone_control(const Packet& src) {
+  Packet* pkt = pool_.acquire();
+  pkt->type = src.type;
+  pkt->priority = src.priority;
+  pkt->size_bytes = src.size_bytes;
+  pkt->src = src.src;
+  pkt->dst = src.dst;
+  pkt->fc_priority = src.fc_priority;
+  pkt->fc_stage = src.fc_stage;
+  pkt->fc_value = src.fc_value;
+  pkt->created_at = src.created_at;
+  return pkt;
+}
+
 Flow& Network::create_flow(NodeId src, NodeId dst, std::uint8_t priority,
                            std::int64_t size_bytes, sim::TimePs start_time) {
   assert(host(src) != nullptr && host(dst) != nullptr);

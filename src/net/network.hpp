@@ -21,6 +21,8 @@
 
 namespace gfc::net {
 
+class ControlFaultHook;
+
 /// Receives every data-packet delivery at any host (throughput samplers).
 class DeliveryListener {
  public:
@@ -35,6 +37,9 @@ struct Counters {
   std::int64_t data_bytes_delivered = 0;
   std::uint64_t control_frames_sent = 0;
   std::uint64_t flows_completed = 0;
+  // Runtime-fault accounting (all zero unless faults are injected):
+  std::uint64_t wire_lost_packets = 0;   // in flight when the link went down
+  std::uint64_t failover_drops = 0;      // stranded on a dead egress, no route
 };
 
 class Network {
@@ -58,6 +63,21 @@ class Network {
   std::pair<int, int> connect(NodeId a, NodeId b, sim::Rate rate,
                               sim::TimePs prop_delay);
 
+  /// First port on `from` whose peer is `to`; -1 when not adjacent.
+  int find_port(NodeId from, NodeId to) const;
+
+  /// Take the full-duplex a<->b link down or up at the current instant.
+  /// Down: both directions stop accepting transmissions, packets already
+  /// propagating are lost on arrival, and hold-and-wait probing ignores the
+  /// dead ports (a failed link is not a flow-control wait). Up: both ports
+  /// are kicked. Queued packets stay put; call reroute_stranded() after
+  /// updating routing to move them.
+  void set_link_state(NodeId a, NodeId b, bool up);
+
+  /// Ask every switch to re-route packets queued behind dead egress ports
+  /// (drops the unroutable ones into Counters::failover_drops).
+  void reroute_stranded();
+
   Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
   const Node& node(NodeId id) const { return *nodes_[static_cast<std::size_t>(id)]; }
   std::size_t node_count() const { return nodes_.size(); }
@@ -80,6 +100,15 @@ class Network {
   /// receipt (also absorbs testbed-style software padding of tau).
   void set_control_delay(sim::TimePs d) { control_delay_ = d; }
   sim::TimePs control_delay() const { return control_delay_; }
+
+  /// Install (or clear) the runtime fault hook consulted by channels for
+  /// every link-control frame. Not owned; the installer must outlive use or
+  /// clear it. Null (the default) keeps the wire perfect.
+  void set_fault_hook(ControlFaultHook* hook) { fault_hook_ = hook; }
+  ControlFaultHook* fault_hook() { return fault_hook_; }
+
+  /// Copy of a link-control frame with a fresh id (fault duplication).
+  Packet* clone_control(const Packet& src);
 
   // --- observation ----------------------------------------------------------
   Counters& counters() { return counters_; }
@@ -109,6 +138,7 @@ class Network {
   std::vector<std::unique_ptr<Channel>> channels_;
   std::deque<Flow> flows_;  // deque: stable Flow& across mid-run create_flow
   std::unique_ptr<CcModule> cc_;
+  ControlFaultHook* fault_hook_ = nullptr;
   sim::TimePs control_delay_ = 0;
   Counters counters_;
   std::vector<DeliveryListener*> delivery_listeners_;

@@ -69,6 +69,11 @@ void EgressPort::enqueue_control(Packet* pkt) {
 
 void EgressPort::kick() { try_transmit(); }
 
+void EgressPort::set_link_up(bool up) {
+  link_up_ = up;
+  if (channel_ != nullptr) channel_->set_up(up);
+}
+
 void EgressPort::cancel_wake() {
   if (wake_event_.valid()) {
     sched().cancel(wake_event_);
@@ -93,7 +98,7 @@ void EgressPort::set_wake(sim::TimePs wake_at) {
 }
 
 void EgressPort::try_transmit() {
-  if (in_flight_ != nullptr) return;
+  if (in_flight_ != nullptr || !link_up_) return;
 
   // Control frames bypass data queues and all gating.
   if (!control_q_.empty()) {
@@ -145,7 +150,9 @@ void EgressPort::try_transmit() {
 }
 
 bool EgressPort::probe_hold_and_wait(sim::TimePs now) {
-  if (in_flight_ != nullptr || !control_q_.empty()) return false;
+  // A downed link stalls for physical reasons, not flow control — it is
+  // not part of the paper's hold-and-wait condition.
+  if (in_flight_ != nullptr || !control_q_.empty() || !link_up_) return false;
   sim::TimePs wake_at = sim::kTimeNever;
   if (owner_.pull_mode()) {
     bool any_waiting = false;

@@ -57,6 +57,13 @@ class EgressPort {
 
   void connect(Channel* channel) { channel_ = channel; }
   bool connected() const { return channel_ != nullptr; }
+  Channel* channel() { return channel_; }
+
+  /// Link state (runtime failures). A downed port keeps its queues but
+  /// starts no transmissions; its outgoing channel mirrors the state so
+  /// in-flight packets are lost. Callers kick() after bringing it back up.
+  void set_link_up(bool up);
+  bool link_up() const { return link_up_; }
 
   /// Queue a data packet (or routed CNP) for transmission. The packet's
   /// current ingress_port keys the fairness bucket.
@@ -140,6 +147,7 @@ class EgressPort {
   int rr_prio_ = 0;  // round-robin pointer over priorities
 
   std::unique_ptr<TxGate> gate_;
+  bool link_up_ = true;
   Packet* in_flight_ = nullptr;
   bool in_flight_control_ = false;
   sim::EventId wake_event_{};

@@ -248,7 +248,7 @@ Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
   return nullptr;
 }
 
-void SwitchNode::on_departure(Packet& pkt, int /*out_port*/) {
+void SwitchNode::release_ingress(Packet& pkt) {
   assert(pkt.ingress_port >= 0);
   const int in_port = pkt.ingress_port;
   auto& bytes = ingress_bytes_[static_cast<std::size_t>(in_port)]
@@ -257,8 +257,116 @@ void SwitchNode::on_departure(Packet& pkt, int /*out_port*/) {
   assert(bytes >= 0);
   pkt.ingress_port = -1;
   pkt.out_port = -1;
-  ++forwarded_packets_;
   if (fc()) fc()->on_ingress_dequeue(in_port, pkt.priority, pkt);
+}
+
+void SwitchNode::on_departure(Packet& pkt, int /*out_port*/) {
+  ++forwarded_packets_;
+  release_ingress(pkt);
+}
+
+void SwitchNode::reroute_stranded() {
+  ensure_tables();
+  const int ports = port_count();
+  std::uint64_t kicked = 0;
+  const auto drop = [this](Packet* p) {
+    ++network().counters().failover_drops;
+    release_ingress(*p);
+    network().free_packet(p);
+  };
+  // Output queues behind dead links: pull everything out and requeue on the
+  // freshly routed egress (arrival order preserved within each queue).
+  for (int e = 0; e < ports; ++e) {
+    if (port(e).link_up()) continue;
+    for (int prio = 0; prio < kNumPriorities; ++prio) {
+      auto& q = outq_[static_cast<std::size_t>(e)][static_cast<std::size_t>(prio)];
+      if (q.empty()) continue;
+      std::deque<Packet*> stranded;
+      stranded.swap(q);
+      outq_bytes_[static_cast<std::size_t>(e)][static_cast<std::size_t>(prio)] = 0;
+      for (Packet* p : stranded) {
+        const int out = route_for(*p);
+        if (out < 0 || !port(out).link_up()) {
+          drop(p);
+          continue;
+        }
+        p->out_port = out;
+        outq_[static_cast<std::size_t>(out)][static_cast<std::size_t>(prio)]
+            .push_back(p);
+        outq_bytes_[static_cast<std::size_t>(out)]
+                   [static_cast<std::size_t>(prio)] += p->size_bytes;
+        kicked |= 1ull << static_cast<unsigned>(out);
+      }
+    }
+  }
+  // Input-FIFO entries targeting dead egresses: retarget in place.
+  for (int in = 0; in < ports; ++in) {
+    for (int prio = 0; prio < kNumPriorities; ++prio) {
+      auto& q = inq_[static_cast<std::size_t>(in)][static_cast<std::size_t>(prio)];
+      for (std::size_t i = 0; i < q.size();) {
+        Packet* p = q[i];
+        if (p->out_port >= 0 && !port(p->out_port).link_up()) {
+          const int out = route_for(*p);
+          if (out < 0 || !port(out).link_up()) {
+            drop(p);
+            q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+            continue;
+          }
+          p->out_port = out;
+          kicked |= 1ull << static_cast<unsigned>(out);
+        }
+        ++i;
+      }
+    }
+  }
+  for (int e = 0; e < ports; ++e) {
+    if ((kicked & (1ull << static_cast<unsigned>(e))) == 0) continue;
+    if (arch_ == SwitchArch::kCioqRoundRobin) {
+      dispatch(e);
+    } else {
+      port(e).kick();
+    }
+  }
+}
+
+std::uint64_t SwitchNode::drain_egress(int egress) {
+  ensure_tables();
+  std::uint64_t dropped = 0;
+  const auto drop = [this, &dropped](Packet* p) {
+    release_ingress(*p);
+    network().free_packet(p);
+    ++dropped;
+  };
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    auto& q =
+        outq_[static_cast<std::size_t>(egress)][static_cast<std::size_t>(prio)];
+    while (!q.empty()) {
+      Packet* p = q.front();
+      q.pop_front();
+      outq_bytes_[static_cast<std::size_t>(egress)]
+                 [static_cast<std::size_t>(prio)] -= p->size_bytes;
+      drop(p);
+    }
+  }
+  // Input-FIFO heads wedged on this egress (CIOQ / input-queued archs).
+  std::uint64_t kicked = 0;
+  for (int in = 0; in < port_count(); ++in) {
+    for (int prio = 0; prio < kNumPriorities; ++prio) {
+      auto& q = inq_[static_cast<std::size_t>(in)][static_cast<std::size_t>(prio)];
+      while (!q.empty() && q.front()->out_port == egress) {
+        Packet* p = q.front();
+        q.pop_front();
+        drop(p);
+      }
+      if (!q.empty() && q.front()->out_port != egress)
+        kicked |= 1ull << static_cast<unsigned>(q.front()->out_port);
+    }
+  }
+  if (dropped == 0) return 0;
+  if (arch_ == SwitchArch::kCioqRoundRobin) dispatch(egress);
+  for (int e = 0; e < port_count(); ++e)
+    if (kicked & (1ull << static_cast<unsigned>(e))) port(e).kick();
+  return dropped;
 }
 
 }  // namespace gfc::net

@@ -91,8 +91,24 @@ class SwitchNode final : public Node {
 
   std::uint64_t forwarded_packets() const { return forwarded_packets_; }
 
+  // --- runtime failures ----------------------------------------------------
+  /// Re-route every queued packet whose selected egress link is down (new
+  /// ECMP choice among live candidates; FIFO order preserved per queue).
+  /// Unroutable packets are dropped into Counters::failover_drops with
+  /// their ingress accounting released. Call after routing tables have
+  /// been updated for the failure.
+  void reroute_stranded();
+
+  /// Deadlock recovery: discard everything queued for `egress` (output
+  /// queue plus wedged input-FIFO heads), releasing ingress accounting so
+  /// flow control can recover. Returns the number of packets dropped.
+  std::uint64_t drain_egress(int egress);
+
  private:
   void account_enqueue(Packet& pkt, int in_port);
+  /// Release (ingress port, priority) accounting and fire the flow-control
+  /// dequeue hook — shared by departure and the runtime drop paths.
+  void release_ingress(Packet& pkt);
   void maybe_mark_ecn(Packet& pkt, int in_port);
   void ensure_tables();
 

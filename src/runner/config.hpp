@@ -9,6 +9,7 @@
 
 #include "core/mapping.hpp"
 #include "core/params.hpp"
+#include "fault/fault.hpp"
 #include "net/switch.hpp"
 #include "sim/time.hpp"
 
@@ -51,6 +52,12 @@ struct FcSetup {
   sim::Rate min_rate = core::kDefaultMinRate;
   std::int64_t conceptual_min_delta = 512;
 
+  // Self-healing knobs (0 = off = seed behavior; see the fault studies):
+  /// PFC: 802.1Qbb pause expiry + downstream refresh cadence.
+  sim::TimePs pfc_pause_timeout = 0;
+  /// CBFC: extra full-credit re-advertisement period.
+  sim::TimePs cbfc_sync_period = 0;
+
   static FcSetup none() { return FcSetup{}; }
   static FcSetup pfc(std::int64_t xoff, std::int64_t xon);
   static FcSetup cbfc(sim::TimePs period);
@@ -91,6 +98,10 @@ struct ScenarioConfig {
   sim::TimePs control_delay = sim::us(1);
   net::EcnConfig ecn;  // disabled unless a DCQCN study turns it on
   std::uint64_t seed = 1;
+
+  /// Runtime control-frame fault injection; all-zero rates (the default)
+  /// install no hook and leave every event identical to the seed.
+  fault::FaultConfig fault;
 
   /// Worst-case feedback latency for these parameters (Eq. 6 with this
   /// config's processing delay).

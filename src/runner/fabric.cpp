@@ -17,11 +17,12 @@ std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg) {
       return nullptr;
     case FcKind::kPfc:
       return std::make_unique<flowctl::PfcModule>(
-          flowctl::PfcConfig{fc.xoff, fc.xon});
+          flowctl::PfcConfig{fc.xoff, fc.xon, fc.pfc_pause_timeout});
     case FcKind::kCbfc: {
       flowctl::CbfcConfig c;
       c.period = fc.period;
       c.buffer_bytes = cfg.switch_buffer;
+      c.sync_period = fc.cbfc_sync_period;
       return std::make_unique<flowctl::CbfcModule>(c);
     }
     case FcKind::kGfcBuffer:
@@ -71,6 +72,8 @@ Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
     auto module = make_fc_module(cfg_);
     if (module) net_.node(static_cast<net::NodeId>(i)).set_fc(std::move(module));
   }
+  if (cfg_.fault.enabled())
+    fault_plan_ = std::make_unique<fault::FaultPlan>(net_, cfg_.fault);
 }
 
 int Fabric::port_to(topo::NodeIndex from, topo::NodeIndex to) const {

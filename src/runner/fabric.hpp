@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "runner/config.hpp"
 #include "topo/routing.hpp"
@@ -43,9 +44,14 @@ class Fabric {
   sim::Rate egress_rate(topo::NodeIndex node, topo::NodeIndex toward,
                         int prio = 0);
 
+  /// The installed fault plan (null when cfg.fault has no enabled rates).
+  fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
+
  private:
   ScenarioConfig cfg_;
   net::Network net_;
+  /// Declared after net_: the plan unhooks itself before the network dies.
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   std::map<std::pair<topo::NodeIndex, topo::NodeIndex>, int> port_map_;
 };
 

@@ -85,7 +85,9 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
         flow, cfg.link.rate, hops, cfg.link.prop_delay, cfg.link.mtu);
   });
   stats::DeadlockDetector detector(
-      net, stats::DeadlockOptions{sim::ms(1), 3, opts.stop_on_deadlock});
+      net, stats::DeadlockOptions{sim::ms(1), 3,
+                                  opts.stop_on_deadlock && !opts.recover_deadlock,
+                                  opts.recover_deadlock});
 
   workload::ClosedLoopGenerator gen(net, hosts, racks, opts.sizes,
                                     sim::Rng(opts.workload_seed));
@@ -95,6 +97,12 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
   RunSummary out;
   out.deadlocked = detector.deadlocked();
   out.deadlock_at = detector.detected_at();
+  out.ended_at = net.sched().now();
+  out.stopped_on_deadlock = detector.deadlocked() && opts.stop_on_deadlock &&
+                            !opts.recover_deadlock;
+  out.deadlock_detections = detector.detections();
+  out.deadlock_recoveries = detector.recoveries();
+  out.recovered_packets = detector.recovered_packets();
   out.per_host_gbps = throughput.per_host_average_gbps(
       static_cast<int>(hosts.size()), opts.warmup, opts.duration);
   out.mean_slowdown = flow_stats.mean_slowdown();

@@ -61,17 +61,28 @@ FatTreeScenario make_random_fattree(const ScenarioConfig& cfg, int k,
 struct RunSummary {
   bool deadlocked = false;
   sim::TimePs deadlock_at = -1;
+  /// True when DeadlockOptions::stop_on_detect halted the run early; the
+  /// simulated clock then stops at `ended_at` < the requested duration.
+  bool stopped_on_deadlock = false;
+  sim::TimePs ended_at = 0;
   double per_host_gbps = 0.0;   // paper's "average available bandwidth"
   double mean_slowdown = 0.0;   // paper's Figure 17 metric
   std::uint64_t flows_completed = 0;
   std::uint64_t flows_started = 0;
   std::uint64_t lossless_violations = 0;
+  // Deadlock-recovery accounting (nonzero only with recover_deadlock):
+  int deadlock_detections = 0;
+  int deadlock_recoveries = 0;
+  std::uint64_t recovered_packets = 0;
 };
 struct RunOptions {
   sim::TimePs duration = sim::ms(20);
   sim::TimePs warmup = sim::ms(1);  // excluded from bandwidth averaging
   std::uint64_t workload_seed = 42;
   bool stop_on_deadlock = true;
+  /// Drain-and-reset confirmed deadlock cycles instead of latching/stopping
+  /// (DeadlockOptions::recover); overrides stop_on_deadlock.
+  bool recover_deadlock = false;
   workload::FlowSizeCdf sizes = workload::FlowSizeCdf::enterprise();
 };
 RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts);

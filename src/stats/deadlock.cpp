@@ -80,16 +80,35 @@ bool DeadlockDetector::cycle_now(std::vector<std::pair<net::NodeId, int>>* cycle
   return false;
 }
 
+void DeadlockDetector::recover_cycle(
+    const std::vector<std::pair<net::NodeId, int>>& cycle) {
+  // Witness-cycle members are always switch egress ports (edges only ever
+  // lead into switches); draining them releases the ingress claims the
+  // cycle's PAUSE/credit state is wedged on.
+  for (const auto& [nid, port] : cycle) {
+    if (auto* sw = net_.sw(nid)) recovered_packets_ += sw->drain_egress(port);
+  }
+  ++recoveries_;
+}
+
 void DeadlockDetector::scan(sim::TimePs now) {
   if (deadlocked_) return;
   std::vector<std::pair<net::NodeId, int>> cycle;
   if (cycle_now(&cycle)) {
     ++consecutive_;
     if (consecutive_ >= opts_.confirm_scans) {
-      deadlocked_ = true;
-      detected_at_ = now;
-      cycle_ = std::move(cycle);
-      if (opts_.stop_on_detect) net_.sched().request_stop();
+      ++detections_;
+      if (detected_at_ < 0) {
+        detected_at_ = now;  // first confirmation, kept across recoveries
+        cycle_ = cycle;
+      }
+      consecutive_ = 0;
+      if (opts_.recover) {
+        recover_cycle(cycle);
+      } else {
+        deadlocked_ = true;
+        if (opts_.stop_on_detect) net_.sched().request_stop();
+      }
     }
   } else {
     consecutive_ = 0;

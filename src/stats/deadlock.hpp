@@ -22,6 +22,11 @@ struct DeadlockOptions {
   sim::TimePs period = sim::ms(1);
   int confirm_scans = 3;
   bool stop_on_detect = false;  // halt the scheduler at detection
+  /// Recovery mode: instead of latching `deadlocked`, drain the witness
+  /// cycle's egress queues (dropping their packets, releasing ingress
+  /// accounting so PAUSE/credit state heals) and keep scanning. The run
+  /// continues; detections/recoveries/dropped counts are reported instead.
+  bool recover = false;
 };
 
 class DeadlockDetector {
@@ -35,11 +40,20 @@ class DeadlockDetector {
   /// The witness cycle: (node id, egress port index) pairs.
   const std::vector<std::pair<net::NodeId, int>>& cycle() const { return cycle_; }
 
+  /// Confirmed deadlocks seen (>= 1 per recovery in recover mode; 0 or 1
+  /// otherwise, matching `deadlocked`).
+  int detections() const { return detections_; }
+  /// Completed drain-and-reset recoveries (recover mode only).
+  int recoveries() const { return recoveries_; }
+  /// Data packets discarded while draining witness cycles.
+  std::uint64_t recovered_packets() const { return recovered_packets_; }
+
   /// One-shot analysis at the current instant (also used by tests).
   bool cycle_now(std::vector<std::pair<net::NodeId, int>>* cycle = nullptr);
 
  private:
   void scan(sim::TimePs now);
+  void recover_cycle(const std::vector<std::pair<net::NodeId, int>>& cycle);
 
   net::Network& net_;
   Options opts_;
@@ -47,6 +61,9 @@ class DeadlockDetector {
   int consecutive_ = 0;
   bool deadlocked_ = false;
   sim::TimePs detected_at_ = -1;
+  int detections_ = 0;
+  int recoveries_ = 0;
+  std::uint64_t recovered_packets_ = 0;
   std::vector<std::pair<net::NodeId, int>> cycle_;
 };
 

@@ -2,6 +2,9 @@
 // feedback bandwidth, deadlock detection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "flowctl/pfc.hpp"
 #include "runner/scenarios.hpp"
 #include "stats/cdf.hpp"
 #include "stats/deadlock.hpp"
@@ -177,6 +180,60 @@ TEST(Deadlock, RingPfcProducesWitnessCycle) {
   for (const auto& [node, port] : detector.cycle())
     EXPECT_TRUE(s.fabric->net().node(node).is_switch());
   EXPECT_GT(detector.detected_at(), 0);
+}
+
+TEST(Deadlock, TwoSwitchRoutingLoopWitnessIsExact) {
+  // DCFIT-style minimal case: a transient routing loop bounces packets for
+  // H2 between S0 and S1 until both directions of the inter-switch link
+  // pause each other. The witness must be exactly the 2-cycle over the two
+  // inter-switch egress ports — no host ports, nothing else.
+  net::Network net;
+  const net::NodeId h0 = net.add_host("H0").id();
+  const net::NodeId h2 = net.add_host("H2").id();
+  const net::NodeId s0 = net.add_switch("S0", 100'000).id();
+  const net::NodeId s1 = net.add_switch("S1", 100'000).id();
+  net.connect(h0, s0, sim::gbps(10), us(1));  // S0: port 0
+  net.connect(h2, s0, sim::gbps(10), us(1));  // S0: port 1
+  net.connect(s0, s1, sim::gbps(10), us(1));  // S0: port 2 / S1: port 0
+  net.sw(s0)->set_route(h0, {0});
+  net.sw(s0)->set_route(h2, {2});  // mis-routed: bounce to S1...
+  net.sw(s1)->set_route(h2, {0});  // ...and straight back.
+  for (net::NodeId id : {h0, h2, s0, s1})
+    net.node(id).set_fc(std::make_unique<flowctl::PfcModule>(
+        flowctl::PfcConfig{80'000, 77'000}));
+
+  net.create_flow(h0, h2, 0, net::Flow::kUnbounded, 0);
+  net.run_until(ms(5));
+
+  DeadlockDetector detector(net);
+  std::vector<std::pair<net::NodeId, int>> cycle;
+  ASSERT_TRUE(detector.cycle_now(&cycle));
+  std::sort(cycle.begin(), cycle.end());
+  const std::vector<std::pair<net::NodeId, int>> want = {{s0, 2}, {s1, 0}};
+  EXPECT_EQ(cycle, want);
+}
+
+TEST(Deadlock, FourSwitchRingWitnessIsTheClockwiseCycle) {
+  runner::ScenarioConfig cfg;
+  cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
+                                   cfg.link.rate, cfg.tau());
+  auto s = runner::make_ring(cfg, 4, 2);
+  DeadlockDetector detector(s.fabric->net());
+  s.fabric->net().run_until(ms(20));
+  ASSERT_TRUE(detector.deadlocked());
+
+  // Every flow runs clockwise, so the witness must be exactly the four
+  // clockwise inter-switch egress ports S_i -> S_{i+1}.
+  std::vector<std::pair<net::NodeId, int>> want;
+  for (int i = 0; i < 4; ++i) {
+    const auto from = s.info.switches[static_cast<std::size_t>(i)];
+    const auto to = s.info.switches[static_cast<std::size_t>((i + 1) % 4)];
+    want.emplace_back(from, s.fabric->port_to(from, to));
+  }
+  std::sort(want.begin(), want.end());
+  auto cycle = detector.cycle();
+  std::sort(cycle.begin(), cycle.end());
+  EXPECT_EQ(cycle, want);
 }
 
 TEST(Deadlock, StopOnDetectHaltsEarly) {
