@@ -61,6 +61,18 @@ net::PacketType unblock_frame(FcKind kind) {
   }
 }
 
+/// Per-trial trace artifacts (--trace): every trial exports its event ring
+/// as Chrome JSON + CSV named by the trial id — the deterministic key — so
+/// the artifact set is byte-identical at any --jobs.
+void export_trial_trace(const exp::CliOptions& cli, const std::string& name,
+                        runner::Fabric& fabric) {
+  if (!cli.trace) return;
+  bench::TraceArtifacts art;
+  art.chrome_json = cli.trace_artifact(name, "trace.json");
+  art.csv = cli.trace_artifact(name, "trace.csv");
+  bench::export_trace(fabric, art);
+}
+
 ScenarioConfig config_for(const Mech& m, std::uint64_t base) {
   ScenarioConfig cfg;
   cfg.seed = 1 + base;
@@ -82,10 +94,12 @@ ScenarioConfig config_for(const Mech& m, std::uint64_t base) {
 /// hides it from the aggregate.
 exp::TrialResult run_loss_trial(bool ring, const Mech& m, double drop,
                                 std::uint64_t fault_seed, std::uint64_t base,
-                                sim::TimePs dur) {
+                                sim::TimePs dur, const exp::CliOptions& cli,
+                                const std::string& trial_name) {
   ScenarioConfig cfg = config_for(m, base);
   cfg.fault.seed = fault_seed;
   cfg.fault.rate(unblock_frame(m.kind)).drop = drop;
+  cfg.trace = cli.trace_options();
 
   RingScenario rs;
   IncastScenario is;
@@ -125,33 +139,46 @@ exp::TrialResult run_loss_trial(bool ring, const Mech& m, double drop,
   } else {
     out.add("faults_consulted", 0).add("faults_dropped", 0);
   }
+  export_trial_trace(cli, trial_name, *fabric);
   return out;
 }
 
 /// Group 2 trial body: let the ring deadlock, then drain-and-reset the
 /// witness cycle (DeadlockOptions::recover) and keep going.
 exp::TrialResult run_recovery_trial(const Mech& m, std::uint64_t base,
-                                    sim::TimePs dur) {
+                                    sim::TimePs dur,
+                                    const exp::CliOptions& cli,
+                                    const std::string& trial_name) {
   ScenarioConfig cfg = config_for(m, base);
+  cfg.trace = cli.trace_options();
   RingScenario s = make_ring(cfg, 3, 2);
   net::Network& net = s.fabric->net();
   stats::ThroughputSampler tp(net, sim::us(100));
-  stats::DeadlockDetector det(net,
-                              stats::DeadlockOptions{sim::ms(1), 3, false, true});
+  stats::DeadlockOptions dl_opts{sim::ms(1), 3, false, true};
+  if (cli.trace)
+    // First detection wins the file; later recoveries rewrite it with the
+    // latest pre-stall window, which is still deterministic per trial.
+    bench::arm_flight_dump(&dl_opts, *s.fabric,
+                           cli.trace_artifact(trial_name, "flight.txt"));
+  stats::DeadlockDetector det(net, dl_opts);
   net.run_until(dur);
-  return exp::TrialResult()
+  exp::TrialResult out = exp::TrialResult()
       .add("detections", det.detections())
       .add("recoveries", det.recoveries())
       .add("recovered_packets", det.recovered_packets())
       .add("deadlocked", det.deadlocked())  // stays false: nothing latches
       .add("tail_gbps", tp.average_gbps(0, dur * 3 / 4, dur) / 3.0);
+  export_trial_trace(cli, trial_name, *s.fabric);
+  return out;
 }
 
 /// Group 3 trial body: closed-loop fat-tree run with one switch-switch
 /// link flapped mid-run; routing recomputed on each transition.
 exp::TrialResult run_flap_trial(const Mech& m, std::uint64_t base,
-                                sim::TimePs dur) {
+                                sim::TimePs dur, const exp::CliOptions& cli,
+                                const std::string& trial_name) {
   ScenarioConfig cfg = config_for(m, base);
+  cfg.trace = cli.trace_options();
   FatTreeScenario s = make_fattree(cfg, 4);
   const auto switch_links = s.topo.switch_links();
   const topo::LinkIndex li = switch_links[switch_links.size() / 2];
@@ -171,7 +198,10 @@ exp::TrialResult run_flap_trial(const Mech& m, std::uint64_t base,
   RunOptions opts;
   opts.duration = dur;
   opts.workload_seed = 7 + base;
+  if (cli.trace)
+    opts.flight_dump_path = cli.trace_artifact(trial_name, "flight.txt");
   const RunSummary r = run_closed_loop(s, opts);
+  export_trial_trace(cli, trial_name, *s.fabric);
   return exp::TrialResult()
       .add("gbps", r.per_host_gbps)
       .add("flows_completed", r.flows_completed)
@@ -215,11 +245,12 @@ int main(int argc, char** argv) {
         const std::uint64_t fault_seed = 1 + base + 13 * trial_no++;
         char dbuf[32];
         std::snprintf(dbuf, sizeof(dbuf), "%g", drop);
-        campaign.add("loss/" + std::string(tname) + "/" + m.name + "/drop" +
-                         dbuf,
-                     std::move(p), [ring, m, drop, fault_seed, base, dur] {
+        const std::string name =
+            "loss/" + std::string(tname) + "/" + m.name + "/drop" + dbuf;
+        campaign.add(name, std::move(p),
+                     [ring, m, drop, fault_seed, base, dur, cli, name] {
                        return run_loss_trial(ring, m, drop, fault_seed, base,
-                                             dur);
+                                             dur, cli, name);
                      });
       }
     }
@@ -231,8 +262,10 @@ int main(int argc, char** argv) {
     p.set("group", "recovery");
     p.set("topo", "ring");
     p.set("mechanism", m.name);
-    campaign.add("recovery/ring/" + std::string(m.name), std::move(p),
-                 [m, base, dur] { return run_recovery_trial(m, base, dur); });
+    const std::string name = "recovery/ring/" + std::string(m.name);
+    campaign.add(name, std::move(p), [m, base, dur, cli, name] {
+      return run_recovery_trial(m, base, dur, cli, name);
+    });
   }
 
   // --- group 3: mid-run link flap on a fat-tree --------------------------
@@ -241,8 +274,10 @@ int main(int argc, char** argv) {
     p.set("group", "flap");
     p.set("topo", "fattree-k4");
     p.set("mechanism", m.name);
-    campaign.add("flap/fattree-k4/" + std::string(m.name), std::move(p),
-                 [m, base, dur] { return run_flap_trial(m, base, dur); });
+    const std::string name = "flap/fattree-k4/" + std::string(m.name);
+    campaign.add(name, std::move(p), [m, base, dur, cli, name] {
+      return run_flap_trial(m, base, dur, cli, name);
+    });
   }
 
   const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());

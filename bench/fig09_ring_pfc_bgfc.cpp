@@ -4,28 +4,39 @@
 // Expected shape: PFC fills the queue and freezes (deadlock, rate pinned
 // 0); buffer-based GFC overshoots transiently, then holds the queue
 // steady with the input rate at 5 Gb/s.
+// With --trace, both runs export Chrome-JSON + CSV traces and the PFC run
+// (which deadlocks) dumps the flight-recorder pre-stall windows — the
+// PAUSE events forming the witness cycle — to fig09_pfc.flight.txt.
 #include "bench_common.hpp"
 
 using namespace gfc;
 using namespace gfc::runner;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 9: ring under PFC vs buffer-based GFC",
                 "Fig. 9(a)/(b), Sec 6.1 testbed parameters");
   ScenarioConfig cfg;
   cfg.switch_buffer = 1'000'000;
   cfg.control_delay =
       sim::us(90) - 2 * sim::tx_time(sim::gbps(10), 1500) - 2 * sim::us(1);
+  cfg.trace = cli.trace_options();
 
   // PFC on the arrival-order (output-queued) switch: the deadlock fabric.
   cfg.arch = net::SwitchArch::kOutputQueuedFifo;
   cfg.fc = FcSetup::pfc(800'000, 797'000);
-  const bench::RingTrace pfc = bench::trace_ring(cfg, sim::ms(40));
+  const bench::TraceArtifacts pfc_art =
+      bench::trace_artifacts_for(cli, "fig09_pfc");
+  const bench::RingTrace pfc = bench::trace_ring(cfg, sim::ms(40), sim::us(100),
+                                                 &pfc_art);
 
   // GFC on the fair crossbar: the paper's steady-state numbers.
   cfg.arch = net::SwitchArch::kCioqRoundRobin;
   cfg.fc = FcSetup::gfc_buffer(750'000, 1'000'000);
-  const bench::RingTrace gfc = bench::trace_ring(cfg, sim::ms(40));
+  const bench::TraceArtifacts gfc_art =
+      bench::trace_artifacts_for(cli, "fig09_gfc_buffer");
+  const bench::RingTrace gfc = bench::trace_ring(cfg, sim::ms(40), sim::us(100),
+                                                 &gfc_art);
 
   std::printf("\n--- PFC (XOFF 800/XON 797 KB): H1-port queue ---\n");
   bench::print_series("queue_KB", "KB", pfc.queue_kb, 20);

@@ -15,11 +15,14 @@ namespace {
 
 stats::TimeSeries run(FcKind kind, net::SwitchArch arch,
                       const topo::Fig11Case& c, bool with_combination,
-                      bool* deadlocked, sim::TimePs* at) {
+                      bool* deadlocked, sim::TimePs* at,
+                      const bench::TraceArtifacts& art = {},
+                      const trace::TraceOptions& topts = {}) {
   ScenarioConfig cfg;
   cfg.switch_buffer = 300'000;
   cfg.arch = arch;
   cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
+  cfg.trace = topts;
   auto s = make_fattree(cfg, 4, c.failed_links);
   net::Network& net = s.fabric->net();
   // The CBD-filling combination: four long (8 MB) inter-pod flows starting
@@ -44,7 +47,9 @@ stats::TimeSeries run(FcKind kind, net::SwitchArch arch,
                                     sim::Rng(42));
   gen.start();
   stats::ThroughputSampler tp(net, sim::us(100));
-  stats::DeadlockDetector det(net);
+  stats::DeadlockOptions dl_opts;
+  bench::arm_flight_dump(&dl_opts, *s.fabric, art.flight_dump);
+  stats::DeadlockDetector det(net, dl_opts);
   stats::TimeSeries series;
   stats::PeriodicProbe probe(net.sched(), sim::us(100), [&](sim::TimePs now) {
     series.add(now, tp.average_gbps(0, now - sim::us(100), now));
@@ -52,12 +57,14 @@ stats::TimeSeries run(FcKind kind, net::SwitchArch arch,
   net.run_until(sim::ms(50));
   *deadlocked = det.deadlocked();
   *at = det.detected_at();
+  bench::export_trace(*s.fabric, art);
   return series;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 18: aggregate throughput evolution", "Fig. 18");
   topo::Topology t;
   const auto ft = topo::build_fattree(t, 4);
@@ -65,14 +72,22 @@ int main() {
   if (cases.empty()) return 1;
   const auto& c = cases.front();
 
+  // With --trace each run exports its full event trace; the CSV's deliver
+  // events regenerate this binary's throughput curves offline (see
+  // EXPERIMENTS.md, "Fig 18 from the trace").
+  const trace::TraceOptions topts = cli.trace_options();
   bool dead_pfc = false, dead_gfc = false, dead_org = false;
   sim::TimePs at_pfc = -1, at_gfc = -1, at_org = -1;
   const auto pfc = run(FcKind::kPfc, net::SwitchArch::kOutputQueuedFifo, c,
-                       true, &dead_pfc, &at_pfc);
+                       true, &dead_pfc, &at_pfc,
+                       bench::trace_artifacts_for(cli, "fig18_pfc_comb"), topts);
   const auto gfc = run(FcKind::kGfcBuffer, net::SwitchArch::kCioqRoundRobin, c,
-                       true, &dead_gfc, &at_gfc);
+                       true, &dead_gfc, &at_gfc,
+                       bench::trace_artifacts_for(cli, "fig18_gfc_comb"), topts);
   const auto org = run(FcKind::kGfcBuffer, net::SwitchArch::kCioqRoundRobin, c,
-                       false, &dead_org, &at_org);
+                       false, &dead_org, &at_org,
+                       bench::trace_artifacts_for(cli, "fig18_gfc_organic"),
+                       topts);
 
   std::printf("\n%10s %12s %14s %14s\n", "t_us", "PFC+comb",
               "GFC+comb", "GFC organic");

@@ -43,8 +43,32 @@ def campaign_run(label: str, commit: str, raw: dict,
     return run
 
 
+def trace_overhead_summary(benchmarks: list) -> dict | None:
+    """BM_TraceOff vs BM_TraceOn (vs the untraced BM_RingSimulationGfc
+    baseline): the tracing-disabled path must stay within noise of the
+    baseline, and the slowdown ratios make that auditable per run."""
+    rates = {
+        b["name"]: b["items_per_second"]
+        for b in benchmarks
+        if b.get("name") in ("BM_RingSimulationGfc", "BM_TraceOff",
+                             "BM_TraceOn") and b.get("items_per_second")
+    }
+    off, on = rates.get("BM_TraceOff"), rates.get("BM_TraceOn")
+    if not off or not on:
+        return None
+    summary = {
+        "off_items_per_second": off,
+        "on_items_per_second": on,
+        "on_vs_off_slowdown": round(off / on, 4),
+    }
+    base = rates.get("BM_RingSimulationGfc")
+    if base:
+        summary["off_vs_untraced_baseline"] = round(base / off, 4)
+    return summary
+
+
 def gbench_run(label: str, commit: str, raw: dict) -> dict:
-    return {
+    run = {
         "label": label,
         "commit": commit,
         "date": raw.get("context", {}).get("date", ""),
@@ -64,6 +88,10 @@ def gbench_run(label: str, commit: str, raw: dict) -> dict:
             for b in raw.get("benchmarks", [])
         ],
     }
+    overhead = trace_overhead_summary(run["benchmarks"])
+    if overhead:
+        run["trace_overhead"] = overhead
+    return run
 
 
 def main() -> None:

@@ -115,6 +115,41 @@ void BM_RingSimulationGfc(benchmark::State& state) {
 }
 BENCHMARK(BM_RingSimulationGfc);
 
+void run_trace_gate_ring(benchmark::State& state, bool trace_on) {
+  // The trace-gate cost check: identical Figure 9 ring with tracing fully
+  // off (one null-pointer branch per instrumentation site — must be within
+  // noise of BM_RingSimulationGfc) vs on with all categories.
+  std::uint64_t events = 0;
+  std::uint64_t recorded = 0;
+  for (auto _ : state) {
+    runner::ScenarioConfig cfg;
+    cfg.fc = runner::FcSetup::derive(runner::FcKind::kGfcBuffer,
+                                     cfg.switch_buffer, cfg.link.rate,
+                                     cfg.tau());
+    cfg.trace.enabled = trace_on;
+    // Size the ring to the 2 ms run: the default 1M-slot (32 MB) ring is
+    // sized for long runs, and re-allocating it every benchmark iteration
+    // would swamp the per-event cost this benchmark exists to measure.
+    cfg.trace.capacity = std::size_t{1} << 17;
+    auto s = runner::make_ring(cfg);
+    s.fabric->net().run_until(sim::ms(2));
+    events += s.fabric->net().sched().executed_events();
+    if (trace_on)
+      recorded += s.fabric->tracer()->buffer().total_recorded();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  if (trace_on)
+    state.counters["trace_events_per_second"] = benchmark::Counter(
+        static_cast<double>(recorded), benchmark::Counter::kIsRate);
+  state.SetLabel("scheduler events executed");
+}
+
+void BM_TraceOff(benchmark::State& state) { run_trace_gate_ring(state, false); }
+BENCHMARK(BM_TraceOff);
+
+void BM_TraceOn(benchmark::State& state) { run_trace_gate_ring(state, true); }
+BENCHMARK(BM_TraceOn);
+
 void BM_FatTreeClosedLoopGfc(benchmark::State& state) {
   // End-to-end k=8 fat-tree (128 hosts) closed-loop empirical workload:
   // scheduler events executed per second of wall time.

@@ -23,6 +23,8 @@ void GfcBufferModule::send_stage(int port, int prio) {
   net::Packet* frame = node().make_control(net::PacketType::kGfcStage);
   frame->fc_priority = prio;
   frame->fc_stage = st.cur_stage;
+  network().trace_event(trace::EventType::kStageTx, node().id(), port, prio,
+                        frame->id, st.cur_stage);
   node().send_control(port, frame);
 }
 
@@ -72,6 +74,8 @@ void GfcBufferModule::on_control(int port, const net::Packet& pkt) {
   if (pkt.type != net::PacketType::kGfcStage) return;
   RateGate* gate = gates_[static_cast<std::size_t>(port)];
   if (gate == nullptr) return;
+  network().trace_event(trace::EventType::kStageRx, node().id(), port,
+                        pkt.fc_priority, pkt.id, pkt.fc_stage);
   gate->set_rate(pkt.fc_priority, mapping_.rate_of(pkt.fc_stage));
 }
 

@@ -34,6 +34,8 @@ void GfcConceptualModule::maybe_report(int port, int prio) {
   net::Packet* frame = node().make_control(net::PacketType::kGfcQueue);
   frame->fc_priority = prio;
   frame->fc_value = q;
+  network().trace_event(trace::EventType::kQsampleTx, node().id(), port, prio,
+                        frame->id, q);
   node().send_control(port, frame);
 }
 
@@ -52,6 +54,8 @@ void GfcConceptualModule::on_control(int port, const net::Packet& pkt) {
   if (pkt.type != net::PacketType::kGfcQueue) return;
   RateGate* gate = gates_[static_cast<std::size_t>(port)];
   if (gate == nullptr) return;
+  network().trace_event(trace::EventType::kQsampleRx, node().id(), port,
+                        pkt.fc_priority, pkt.id, pkt.fc_value);
   gate->set_rate(pkt.fc_priority, mapping_.rate_for(pkt.fc_value));
 }
 

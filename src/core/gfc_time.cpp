@@ -35,6 +35,8 @@ void GfcTimeModule::send_samples(int port) {
     net::Packet* frame = node().make_control(net::PacketType::kGfcQueue);
     frame->fc_priority = prio;
     frame->fc_value = sw->ingress_bytes(port, prio);
+    network().trace_event(trace::EventType::kQsampleTx, node().id(), port,
+                          prio, frame->id, frame->fc_value);
     node().send_control(port, frame);
   }
 }
@@ -43,6 +45,8 @@ void GfcTimeModule::on_control(int port, const net::Packet& pkt) {
   if (pkt.type != net::PacketType::kGfcQueue) return;
   RateGate* gate = gates_[static_cast<std::size_t>(port)];
   if (gate == nullptr) return;
+  network().trace_event(trace::EventType::kQsampleRx, node().id(), port,
+                        pkt.fc_priority, pkt.id, pkt.fc_value);
   gate->set_rate(pkt.fc_priority, mapping_.rate_for(pkt.fc_value));
 }
 

@@ -12,6 +12,7 @@
 #include <array>
 #include <memory>
 
+#include "net/network.hpp"
 #include "net/port.hpp"
 #include "sim/time.hpp"
 
@@ -68,7 +69,13 @@ class RateGate final : public net::TxGate {
 
   /// Rate Adjuster entry point: update the assigned rate and re-evaluate.
   void set_rate(int prio, sim::Rate r) {
-    limiters_[static_cast<std::size_t>(prio)].set_rate(r);
+    RateLimiter& lim = limiters_[static_cast<std::size_t>(prio)];
+    if (lim.rate() != r) {
+      lim.set_rate(r);
+      port_->owner().network().trace_event(trace::EventType::kRateSet,
+                                           port_->owner().id(), port_->index(),
+                                           prio, 0, r.bps);
+    }
     port_->kick();
   }
 

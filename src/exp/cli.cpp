@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 namespace gfc::exp {
 
@@ -11,7 +12,8 @@ namespace {
   std::fprintf(stderr, "unknown or incomplete argument: %s\n", bad);
   std::fprintf(stderr,
                "usage: %s [--quick] [--jobs N] [--seed N] [--json PATH] "
-               "[--timing] [--no-progress]\n",
+               "[--timing] [--no-progress] [--trace] [--trace-out DIR] "
+               "[--trace-categories LIST]\n",
                prog);
   std::exit(2);
 }
@@ -43,8 +45,40 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (!std::strncmp(a, "--json=", 7)) {
       opts.json_path = a + 7;
+    } else if (!std::strcmp(a, "--trace")) {
+      opts.trace = true;
+    } else if (!std::strcmp(a, "--trace-out")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      opts.trace_out = argv[++i];
+    } else if (!std::strncmp(a, "--trace-out=", 12)) {
+      opts.trace_out = a + 12;
+    } else if (!std::strcmp(a, "--trace-categories") ||
+               !std::strncmp(a, "--trace-categories=", 19)) {
+      std::string spec;
+      if (a[18] == '=') {
+        spec = a + 19;
+      } else {
+        if (i + 1 >= argc) usage_and_exit(argv[0], a);
+        spec = argv[++i];
+      }
+      std::string err;
+      opts.trace_categories = trace::parse_categories(spec, &err);
+      if (opts.trace_categories == 0) {
+        std::fprintf(stderr, "%s\n", err.empty() ? "empty category list"
+                                                 : err.c_str());
+        usage_and_exit(argv[0], a);
+      }
     } else {
       usage_and_exit(argv[0], a);
+    }
+  }
+  if (opts.trace && !opts.trace_out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.trace_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --trace-out directory %s: %s\n",
+                   opts.trace_out.c_str(), ec.message().c_str());
+      std::exit(2);
     }
   }
   return opts;

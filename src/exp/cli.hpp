@@ -5,11 +5,16 @@
 //   --json PATH   write the campaign's JSON results to PATH
 //   --timing      include wall-clock metadata in the JSON
 //   --no-progress suppress the live progress/ETA line
+//   --trace               enable binary event tracing per trial
+//   --trace-out DIR       write per-trial trace artifacts under DIR
+//   --trace-categories S  comma list (port,link,pfc,credit,gfc,sched,
+//                         deadlock,flow) or "all"       [default all]
 #pragma once
 
 #include <string>
 
 #include "exp/worker_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace gfc::exp {
 
@@ -24,11 +29,38 @@ struct CliOptions {
   std::uint64_t seed = 0;
   std::string json_path;  // empty = don't write JSON
 
+  // Tracing (see src/trace/): each trial gets its own Tracer, so artifacts
+  // are deterministic at any --jobs.
+  bool trace = false;
+  std::string trace_out;       // artifact directory ("." when empty)
+  std::uint32_t trace_categories = trace::kCatAll;
+
   PoolOptions pool() const {
     PoolOptions p;
     p.jobs = jobs;
     p.progress = progress;
     return p;
+  }
+
+  /// TraceOptions for a trial's ScenarioConfig (enabled iff --trace).
+  trace::TraceOptions trace_options() const {
+    trace::TraceOptions t;
+    t.enabled = trace;
+    t.categories = trace_categories;
+    return t;
+  }
+
+  /// "<dir>/<trial>.<ext>" artifact path for a trial id — the trial name is
+  /// the deterministic key, never the worker index, so artifacts are stable
+  /// at any --jobs. Path separators and spaces inside the trial name are
+  /// flattened to '_' to keep everything in one directory.
+  std::string trace_artifact(const std::string& trial_name,
+                             const char* ext) const {
+    std::string flat = trial_name;
+    for (char& c : flat)
+      if (c == '/' || c == '\\' || c == ' ') c = '_';
+    const std::string dir = trace_out.empty() ? "." : trace_out;
+    return dir + "/" + flat + "." + ext;
   }
 };
 

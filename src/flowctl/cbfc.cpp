@@ -13,7 +13,7 @@ void CbfcModule::on_attach() {
   for (int p = 0; p < node().port_count(); ++p) {
     // Credit-gate only links whose peer advertises credits (switches).
     if (peer_is_switch(p)) {
-      auto gate = std::make_unique<CreditGate>(cfg_);
+      auto gate = std::make_unique<CreditGate>(cfg_, node().port(p));
       gates_[static_cast<std::size_t>(p)] = gate.get();
       node().port(p).set_gate(std::move(gate));
     }
@@ -51,6 +51,8 @@ void CbfcModule::send_credits(int port) {
     frame->fc_value = fwd_blocks_[static_cast<std::size_t>(port)]
                                  [static_cast<std::size_t>(prio)] +
                       cfg_.buffer_blocks();
+    network().trace_event(trace::EventType::kCreditTx, node().id(), port, prio,
+                          frame->id, frame->fc_value);
     node().send_control(port, frame);
   }
 }
@@ -64,6 +66,8 @@ void CbfcModule::on_control(int port, const Packet& pkt) {
   if (pkt.type != PacketType::kCredit) return;
   CreditGate* gate = gates_[static_cast<std::size_t>(port)];
   if (gate == nullptr) return;
+  network().trace_event(trace::EventType::kCreditRx, node().id(), port,
+                        pkt.fc_priority, pkt.id, pkt.fc_value);
   gate->update_fccl(pkt.fc_priority, pkt.fc_value);
   node().port(port).kick();
 }

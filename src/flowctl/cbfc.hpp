@@ -55,19 +55,31 @@ class CbfcModule final : public LinkFcBase {
  private:
   class CreditGate final : public net::TxGate {
    public:
-    explicit CreditGate(const CbfcConfig& cfg) : cfg_(cfg) {
+    CreditGate(const CbfcConfig& cfg, net::EgressPort& port)
+        : cfg_(cfg), port_(port) {
       fccl_.fill(cfg.buffer_blocks());  // initial advertisement at link init
     }
     bool allowed(const Packet& pkt, sim::TimePs, sim::TimePs*) override {
       const auto p = static_cast<std::size_t>(pkt.priority);
-      return fctbs_[p] + cfg_.blocks_for(pkt.size_bytes) <= fccl_[p];
+      if (fctbs_[p] + cfg_.blocks_for(pkt.size_bytes) <= fccl_[p]) return true;
+      if (!exhausted_[p]) {
+        // Edge-triggered: first blocked attempt since credits last grew.
+        exhausted_[p] = true;
+        port_.owner().network().trace_event(
+            trace::EventType::kCreditExhausted, port_.owner().id(),
+            port_.index(), pkt.priority, pkt.id, fccl_[p] - fctbs_[p]);
+      }
+      return false;
     }
     void on_transmit(const Packet& pkt, sim::TimePs) override {
       fctbs_[pkt.priority] += cfg_.blocks_for(pkt.size_bytes);
     }
     void update_fccl(int prio, std::int64_t fccl) {
       auto& cur = fccl_[static_cast<std::size_t>(prio)];
-      if (fccl > cur) cur = fccl;  // FCCL is cumulative, never regresses
+      if (fccl > cur) {
+        cur = fccl;  // FCCL is cumulative, never regresses
+        exhausted_[static_cast<std::size_t>(prio)] = false;
+      }
     }
     std::int64_t credits(int prio) const {
       const auto p = static_cast<std::size_t>(prio);
@@ -76,8 +88,10 @@ class CbfcModule final : public LinkFcBase {
 
    private:
     const CbfcConfig cfg_;
+    net::EgressPort& port_;
     std::array<std::int64_t, kNumPriorities> fccl_{};
     std::array<std::int64_t, kNumPriorities> fctbs_{};
+    std::array<bool, kNumPriorities> exhausted_{};
   };
 
   void send_credits(int port);

@@ -26,6 +26,8 @@ void PfcModule::arm_refresh(int port, int prio) {
     // Keep the upstream's quanta topped up (and repair a lost PAUSE).
     Packet* frame = node().make_control(PacketType::kPfcPause);
     frame->fc_priority = prio;
+    network().trace_event(trace::EventType::kPauseTx, node().id(), port, prio,
+                          frame->id, /*refresh=*/1);
     node().send_control(port, frame);
     arm_refresh(port, prio);
   });
@@ -35,6 +37,9 @@ void PfcModule::send_pause_state(int port, int prio, bool pause) {
   Packet* frame = node().make_control(pause ? PacketType::kPfcPause
                                             : PacketType::kPfcResume);
   frame->fc_priority = prio;
+  network().trace_event(
+      pause ? trace::EventType::kPauseTx : trace::EventType::kResumeTx,
+      node().id(), port, prio, frame->id, /*refresh=*/0);
   node().send_control(port, frame);
   pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] = pause;
   if (cfg_.pause_timeout > 0) {
@@ -69,6 +74,10 @@ void PfcModule::on_ingress_dequeue(int port, int prio, const Packet&) {
 
 void PfcModule::on_control(int port, const Packet& pkt) {
   if (pkt.type != PacketType::kPfcPause && pkt.type != PacketType::kPfcResume) return;
+  network().trace_event(pkt.type == PacketType::kPfcPause
+                            ? trace::EventType::kPauseRx
+                            : trace::EventType::kResumeRx,
+                        node().id(), port, pkt.fc_priority, pkt.id, 0);
   PauseGate* gate = gates_[static_cast<std::size_t>(port)];
   if (pkt.type == PacketType::kPfcPause) {
     gate->set_paused_until(pkt.fc_priority,

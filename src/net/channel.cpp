@@ -15,6 +15,8 @@ void Channel::propagate(Packet* pkt, sim::TimePs delay) {
     // frame (both PHYs are gone; there is no store-and-forward on a wire).
     if (!up_) {
       ++net_.counters().wire_lost_packets;
+      net_.trace_event(trace::EventType::kWireLost, dst_.id(), dst_port_,
+                       pkt->priority, pkt->id, pkt->size_bytes);
       net_.free_packet(pkt);
       return;
     }

@@ -31,6 +31,9 @@ void HostNode::start_flow(FlowId id) {
   assert(flow.src == this->id());
   assert(find_sender(id) == nullptr && "flow already active");
   sending_.push_back(SenderFlow{id, false, {}});
+  network().trace_event(trace::EventType::kFlowStart, this->id(), -1,
+                        flow.priority, static_cast<std::uint64_t>(id),
+                        flow.size_bytes);
   if (network().cc()) network().cc()->on_flow_start(flow);
   stage_next(sending_.size() - 1);
 }
@@ -122,11 +125,18 @@ void HostNode::receive(Packet* pkt, int in_port) {
   auto& counters = network().counters();
   ++counters.data_packets_delivered;
   counters.data_bytes_delivered += pkt->size_bytes;
+  network().trace_event(trace::EventType::kDeliver, id(), in_port,
+                        pkt->priority, static_cast<std::uint64_t>(pkt->flow),
+                        pkt->size_bytes);
   network().notify_delivery(*pkt);
   if (network().cc()) network().cc()->on_data_received(*this, flow, *pkt);
   if (flow.completed() && flow.finish_time < 0) {
     flow.finish_time = network().sched().now();
     ++counters.flows_completed;
+    network().trace_event(trace::EventType::kFlowComplete, id(), -1,
+                          flow.priority,
+                          static_cast<std::uint64_t>(flow.id),
+                          flow.bytes_delivered);
     network().notify_completion(flow);
   }
   network().free_packet(pkt);

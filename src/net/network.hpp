@@ -18,6 +18,7 @@
 #include "net/switch.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
 
 namespace gfc::net {
 
@@ -114,6 +115,20 @@ class Network {
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
 
+  /// Install (or clear) the binary tracer. Not owned (runner::Fabric owns
+  /// it); one tracer per network — campaigns run many sims concurrently, so
+  /// there is deliberately no global. Null (the default) disables tracing.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() { return tracer_; }
+
+  /// Hot-path trace hook. With no tracer installed this is one predictable
+  /// branch; arguments are values the caller already holds.
+  void trace_event(trace::EventType type, std::int32_t node, std::int32_t port,
+                   std::int32_t prio, std::uint64_t id, std::int64_t value) {
+    if (tracer_ != nullptr)
+      tracer_->record(type, sched_.now(), node, port, prio, id, value);
+  }
+
   void add_delivery_listener(DeliveryListener* l) { delivery_listeners_.push_back(l); }
   void add_completion_listener(std::function<void(Flow&)> fn) {
     completion_listeners_.push_back(std::move(fn));
@@ -139,6 +154,7 @@ class Network {
   std::deque<Flow> flows_;  // deque: stable Flow& across mid-run create_flow
   std::unique_ptr<CcModule> cc_;
   ControlFaultHook* fault_hook_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   sim::TimePs control_delay_ = 0;
   Counters counters_;
   std::vector<DeliveryListener*> delivery_listeners_;

@@ -58,6 +58,8 @@ void EgressPort::enqueue(Packet* pkt) {
   bucket->q.push_back(pkt);
   pq.bytes += pkt->size_bytes;
   ++pq.packets;
+  owner_.network().trace_event(trace::EventType::kPortEnqueue, owner_.id(),
+                               index_, pkt->priority, pkt->id, pq.bytes);
   try_transmit();
 }
 
@@ -71,6 +73,9 @@ void EgressPort::kick() { try_transmit(); }
 
 void EgressPort::set_link_up(bool up) {
   link_up_ = up;
+  owner_.network().trace_event(
+      up ? trace::EventType::kLinkUp : trace::EventType::kLinkDown,
+      owner_.id(), index_, -1, 0, queued_bytes_total());
   if (channel_ != nullptr) channel_->set_up(up);
 }
 
@@ -78,6 +83,8 @@ void EgressPort::cancel_wake() {
   if (wake_event_.valid()) {
     sched().cancel(wake_event_);
     wake_event_ = {};
+    owner_.network().trace_event(trace::EventType::kWakeCancel, owner_.id(),
+                                 index_, -1, 0, wake_at_);
   }
   wake_at_ = sim::kTimeNever;
 }
@@ -87,12 +94,18 @@ void EgressPort::set_wake(sim::TimePs wake_at) {
     if (wake_at == wake_at_) return;  // timer already armed for that instant
     sched().cancel(wake_event_);
     wake_event_ = {};
+    owner_.network().trace_event(trace::EventType::kWakeCancel, owner_.id(),
+                                 index_, -1, 0, wake_at_);
   }
   wake_at_ = wake_at;
   if (wake_at == sim::kTimeNever) return;
+  owner_.network().trace_event(trace::EventType::kWakeArm, owner_.id(), index_,
+                               -1, 0, wake_at);
   wake_event_ = sched().schedule_at(wake_at, [this] {
     wake_event_ = {};
     wake_at_ = sim::kTimeNever;
+    owner_.network().trace_event(trace::EventType::kWakeFire, owner_.id(),
+                                 index_, -1, 0, sched().now());
     try_transmit();
   });
 }
@@ -175,7 +188,12 @@ void EgressPort::start_tx(Packet* pkt, bool control) {
   assert(channel_ != nullptr && "port must be connected");
   in_flight_ = pkt;
   in_flight_control_ = control;
-  if (!control) gate_->on_transmit(*pkt, sched().now());
+  if (!control) {
+    owner_.network().trace_event(trace::EventType::kTxStart, owner_.id(),
+                                 index_, pkt->priority, pkt->id,
+                                 pkt->size_bytes);
+    gate_->on_transmit(*pkt, sched().now());
+  }
   const sim::TimePs t = sim::tx_time(rate_, pkt->size_bytes);
   sched().schedule_in(t, [this] { complete_tx(); });
 }

@@ -82,11 +82,14 @@ void SwitchNode::account_enqueue(Packet& pkt, int in_port) {
     // keep the packet (the sim has memory) but record the violation; every
     // test asserts this counter stays zero.
     ++network().counters().lossless_violations;
-    GFC_LOG_WARN("%s: ingress buffer overflow on port %d prio %d (%lld > %lld)",
+    GFC_LOG_WARN_CAT(::gfc::trace::kCatPort,
+                 "%s: ingress buffer overflow on port %d prio %d (%lld > %lld)",
                  name().c_str(), in_port, pkt.priority,
                  static_cast<long long>(bytes), static_cast<long long>(buffer_));
   }
   pkt.ingress_port = in_port;
+  network().trace_event(trace::EventType::kIngressEnqueue, id(), in_port,
+                        pkt.priority, pkt.id, bytes);
 }
 
 void SwitchNode::maybe_mark_ecn(Packet& pkt, int in_port) {
@@ -111,7 +114,10 @@ void SwitchNode::receive(Packet* pkt, int in_port) {
   const int out = route_for(*pkt);
   if (out < 0) {
     ++network().counters().route_drops;
-    GFC_LOG_ERROR("%s: no route for dst %d, dropping", name().c_str(), pkt->dst);
+    GFC_LOG_ERROR_CAT(::gfc::trace::kCatPort, "%s: no route for dst %d, dropping",
+                      name().c_str(), pkt->dst);
+    network().trace_event(trace::EventType::kDrop, id(), in_port,
+                          pkt->priority, pkt->id, pkt->size_bytes);
     network().free_packet(pkt);
     return;
   }
@@ -257,6 +263,8 @@ void SwitchNode::release_ingress(Packet& pkt) {
   assert(bytes >= 0);
   pkt.ingress_port = -1;
   pkt.out_port = -1;
+  network().trace_event(trace::EventType::kIngressDequeue, id(), in_port,
+                        pkt.priority, pkt.id, bytes);
   if (fc()) fc()->on_ingress_dequeue(in_port, pkt.priority, pkt);
 }
 
@@ -271,6 +279,8 @@ void SwitchNode::reroute_stranded() {
   std::uint64_t kicked = 0;
   const auto drop = [this](Packet* p) {
     ++network().counters().failover_drops;
+    network().trace_event(trace::EventType::kDrop, id(), p->out_port,
+                          p->priority, p->id, p->size_bytes);
     release_ingress(*p);
     network().free_packet(p);
   };
@@ -332,7 +342,9 @@ void SwitchNode::reroute_stranded() {
 std::uint64_t SwitchNode::drain_egress(int egress) {
   ensure_tables();
   std::uint64_t dropped = 0;
-  const auto drop = [this, &dropped](Packet* p) {
+  const auto drop = [this, &dropped, egress](Packet* p) {
+    network().trace_event(trace::EventType::kDrop, id(), egress, p->priority,
+                          p->id, p->size_bytes);
     release_ingress(*p);
     network().free_packet(p);
     ++dropped;

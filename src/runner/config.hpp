@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "net/switch.hpp"
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace gfc::runner {
 
@@ -102,6 +103,10 @@ struct ScenarioConfig {
   /// Runtime control-frame fault injection; all-zero rates (the default)
   /// install no hook and leave every event identical to the seed.
   fault::FaultConfig fault;
+
+  /// Binary event tracing (src/trace/). Disabled (the default) costs one
+  /// null-pointer branch per instrumentation site.
+  trace::TraceOptions trace;
 
   /// Worst-case feedback latency for these parameters (Eq. 6 with this
   /// config's processing delay).

@@ -45,6 +45,10 @@ std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg) {
 
 Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
     : cfg_(cfg) {
+  if (cfg.trace.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(cfg.trace);
+    net_.set_tracer(tracer_.get());
+  }
   net_.reseed(cfg.seed);
   net_.set_control_delay(cfg.control_delay);
   for (std::size_t i = 0; i < topo.node_count(); ++i) {
@@ -74,6 +78,13 @@ Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
   }
   if (cfg_.fault.enabled())
     fault_plan_ = std::make_unique<fault::FaultPlan>(net_, cfg_.fault);
+}
+
+trace::NodeNameFn Fabric::node_name_fn() {
+  return [this](std::int32_t id) -> std::string {
+    if (id < 0 || static_cast<std::size_t>(id) >= net_.node_count()) return {};
+    return net_.node(id).name();
+  };
 }
 
 int Fabric::port_to(topo::NodeIndex from, topo::NodeIndex to) const {

@@ -11,6 +11,8 @@
 #include "runner/config.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace gfc::runner {
 
@@ -47,8 +49,16 @@ class Fabric {
   /// The installed fault plan (null when cfg.fault has no enabled rates).
   fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
+  /// The installed tracer (null unless cfg.trace.enabled).
+  trace::Tracer* tracer() { return tracer_.get(); }
+
+  /// Node-id -> topo-name resolver for the trace exporters.
+  trace::NodeNameFn node_name_fn();
+
  private:
   ScenarioConfig cfg_;
+  /// Declared before net_ so the tracer outlives every node's teardown.
+  std::unique_ptr<trace::Tracer> tracer_;
   net::Network net_;
   /// Declared after net_: the plan unhooks itself before the network dies.
   std::unique_ptr<fault::FaultPlan> fault_plan_;

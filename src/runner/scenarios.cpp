@@ -64,6 +64,16 @@ FatTreeScenario make_random_fattree(const ScenarioConfig& cfg, int k,
   return s;
 }
 
+std::string describe_cycle(const stats::DeadlockDetector& det,
+                           net::Network& net) {
+  std::string out;
+  for (const auto& [nid, port] : det.cycle()) {
+    if (!out.empty()) out += " -> ";
+    out += net.node(nid).name() + ":" + std::to_string(port);
+  }
+  return out;
+}
+
 RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
   net::Network& net = scenario.fabric->net();
   const ScenarioConfig& cfg = scenario.fabric->config();
@@ -84,10 +94,23 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
     return stats::FlowStats::default_ideal_fct(
         flow, cfg.link.rate, hops, cfg.link.prop_delay, cfg.link.mtu);
   });
-  stats::DeadlockDetector detector(
-      net, stats::DeadlockOptions{sim::ms(1), 3,
-                                  opts.stop_on_deadlock && !opts.recover_deadlock,
-                                  opts.recover_deadlock});
+  stats::DeadlockOptions dl_opts{sim::ms(1), 3,
+                                 opts.stop_on_deadlock && !opts.recover_deadlock,
+                                 opts.recover_deadlock, {}};
+  if (!opts.flight_dump_path.empty() && net.tracer() != nullptr &&
+      net.tracer()->flight() != nullptr) {
+    Fabric& fabric = *scenario.fabric;
+    const std::string path = opts.flight_dump_path;
+    dl_opts.on_detect = [&fabric, path](const stats::DeadlockDetector& det) {
+      trace::dump_flight(path, *fabric.net().tracer()->flight(),
+                         fabric.node_name_fn(),
+                         "deadlock detected at " +
+                             sim::format_time(det.detected_at()) +
+                             "\nwitness cycle: " +
+                             describe_cycle(det, fabric.net()));
+    };
+  }
+  stats::DeadlockDetector detector(net, dl_opts);
 
   workload::ClosedLoopGenerator gen(net, hosts, racks, opts.sizes,
                                     sim::Rng(opts.workload_seed));

@@ -83,8 +83,17 @@ struct RunOptions {
   /// Drain-and-reset confirmed deadlock cycles instead of latching/stopping
   /// (DeadlockOptions::recover); overrides stop_on_deadlock.
   bool recover_deadlock = false;
+  /// When non-empty and the fabric has a tracer with a flight recorder,
+  /// every confirmed deadlock detection dumps the per-node pre-stall event
+  /// windows here (trace::write_flight_dump format).
+  std::string flight_dump_path;
   workload::FlowSizeCdf sizes = workload::FlowSizeCdf::enterprise();
 };
 RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts);
+
+/// "s0:2 -> s3:1 -> ..." — the detector's witness cycle with node names,
+/// used as the flight-dump reason line.
+std::string describe_cycle(const stats::DeadlockDetector& det,
+                           net::Network& net);
 
 }  // namespace gfc::runner

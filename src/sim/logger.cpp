@@ -5,7 +5,6 @@
 namespace gfc::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
@@ -16,9 +15,6 @@ const char* level_name(LogLevel l) {
   }
 }
 }  // namespace
-
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
 
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) {

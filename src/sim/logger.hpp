@@ -1,31 +1,67 @@
-// Minimal leveled logger. Simulation hot paths use GFC_LOG_DEBUG, which
-// compiles to a level check and is off by default.
+// Minimal leveled logger, sharing the trace subsystem's category
+// vocabulary (trace/categories.hpp) so `--trace-categories` and the log
+// filter speak the same names.
+//
+// The level and category mask are inline globals read straight from the
+// macro, so a suppressed statement compiles to a load + compare — no
+// function call and, crucially, no evaluation or formatting of the
+// arguments. Simulation hot paths use GFC_LOG_DEBUG, which is off by
+// default.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+
+#include "trace/categories.hpp"
 
 namespace gfc::sim {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-LogLevel log_level();
-void set_log_level(LogLevel level);
-
 namespace detail {
+inline LogLevel g_log_level = LogLevel::kWarn;
+inline std::uint32_t g_log_categories = trace::kCatAll;
 void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 }  // namespace detail
 
+inline LogLevel log_level() { return detail::g_log_level; }
+inline void set_log_level(LogLevel level) { detail::g_log_level = level; }
+
+/// Category filter (trace::Category bits); default passes everything, so
+/// output is unchanged unless a caller narrows it.
+inline std::uint32_t log_categories() { return detail::g_log_categories; }
+inline void set_log_categories(std::uint32_t mask) { detail::g_log_categories = mask; }
+
+inline bool log_enabled(LogLevel level, std::uint32_t cat) {
+  return static_cast<int>(level) >= static_cast<int>(detail::g_log_level) &&
+         (detail::g_log_categories & cat) != 0;
+}
+
 }  // namespace gfc::sim
 
-#define GFC_LOG(level, ...)                                  \
+/// Category-tagged statement: suppressed level or masked-off category skips
+/// the argument list entirely (the `if` guards evaluation).
+#define GFC_LOG_CAT(cat, level, ...)                         \
   do {                                                       \
-    if (static_cast<int>(level) >=                           \
-        static_cast<int>(::gfc::sim::log_level()))           \
+    if (::gfc::sim::log_enabled(level, cat))                 \
       ::gfc::sim::detail::vlog(level, __VA_ARGS__);          \
   } while (0)
+
+/// Uncategorized statement: passes whenever any category is enabled.
+#define GFC_LOG(level, ...) \
+  GFC_LOG_CAT(::gfc::trace::kCatAll, level, __VA_ARGS__)
 
 #define GFC_LOG_DEBUG(...) GFC_LOG(::gfc::sim::LogLevel::kDebug, __VA_ARGS__)
 #define GFC_LOG_INFO(...) GFC_LOG(::gfc::sim::LogLevel::kInfo, __VA_ARGS__)
 #define GFC_LOG_WARN(...) GFC_LOG(::gfc::sim::LogLevel::kWarn, __VA_ARGS__)
 #define GFC_LOG_ERROR(...) GFC_LOG(::gfc::sim::LogLevel::kError, __VA_ARGS__)
+
+#define GFC_LOG_DEBUG_CAT(cat, ...) \
+  GFC_LOG_CAT(cat, ::gfc::sim::LogLevel::kDebug, __VA_ARGS__)
+#define GFC_LOG_INFO_CAT(cat, ...) \
+  GFC_LOG_CAT(cat, ::gfc::sim::LogLevel::kInfo, __VA_ARGS__)
+#define GFC_LOG_WARN_CAT(cat, ...) \
+  GFC_LOG_CAT(cat, ::gfc::sim::LogLevel::kWarn, __VA_ARGS__)
+#define GFC_LOG_ERROR_CAT(cat, ...) \
+  GFC_LOG_CAT(cat, ::gfc::sim::LogLevel::kError, __VA_ARGS__)

@@ -86,7 +86,12 @@ void DeadlockDetector::recover_cycle(
   // lead into switches); draining them releases the ingress claims the
   // cycle's PAUSE/credit state is wedged on.
   for (const auto& [nid, port] : cycle) {
-    if (auto* sw = net_.sw(nid)) recovered_packets_ += sw->drain_egress(port);
+    if (auto* sw = net_.sw(nid)) {
+      const std::uint64_t dropped = sw->drain_egress(port);
+      recovered_packets_ += dropped;
+      net_.trace_event(trace::EventType::kDeadlockRecover, nid, port, -1, 0,
+                       static_cast<std::int64_t>(dropped));
+    }
   }
   ++recoveries_;
 }
@@ -103,6 +108,13 @@ void DeadlockDetector::scan(sim::TimePs now) {
         cycle_ = cycle;
       }
       consecutive_ = 0;
+      // One trace event per witness-cycle member; value indexes the
+      // position within the cycle so the dump reconstructs its order.
+      for (std::size_t i = 0; i < cycle.size(); ++i)
+        net_.trace_event(trace::EventType::kDeadlockDetect, cycle[i].first,
+                         cycle[i].second, -1, static_cast<std::uint64_t>(i),
+                         static_cast<std::int64_t>(cycle.size()));
+      if (opts_.on_detect) opts_.on_detect(*this);
       if (opts_.recover) {
         recover_cycle(cycle);
       } else {

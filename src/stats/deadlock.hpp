@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "stats/probe.hpp"
 
 namespace gfc::stats {
+
+class DeadlockDetector;
 
 struct DeadlockOptions {
   sim::TimePs period = sim::ms(1);
@@ -27,6 +30,12 @@ struct DeadlockOptions {
   /// accounting so PAUSE/credit state heals) and keep scanning. The run
   /// continues; detections/recoveries/dropped counts are reported instead.
   bool recover = false;
+  /// Called at every confirmed detection, after the witness cycle is
+  /// captured but before any recovery drain — the flight-recorder dump
+  /// hook. May call DeadlockDetector::stop() (the detector's probe survives
+  /// reentrant stops), hence the non-const reference; lambdas taking a
+  /// const reference convert fine.
+  std::function<void(DeadlockDetector&)> on_detect;
 };
 
 class DeadlockDetector {
@@ -50,6 +59,9 @@ class DeadlockDetector {
 
   /// One-shot analysis at the current instant (also used by tests).
   bool cycle_now(std::vector<std::pair<net::NodeId, int>>* cycle = nullptr);
+
+  /// Stop scanning. Safe from inside on_detect (i.e. mid-scan).
+  void stop() { probe_.stop(); }
 
  private:
   void scan(sim::TimePs now);

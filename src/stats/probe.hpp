@@ -22,18 +22,25 @@ class PeriodicProbe {
   PeriodicProbe(const PeriodicProbe&) = delete;
   PeriodicProbe& operator=(const PeriodicProbe&) = delete;
 
+  /// Safe to call from inside the probe's own callback: the timer event has
+  /// already fired by then (cancel alone would be a no-op), so a flag also
+  /// suppresses the re-arm that would otherwise follow the callback.
   void stop() {
+    stopped_ = true;
     if (event_.valid()) {
       sched_.cancel(event_);
       event_ = {};
     }
   }
 
+  bool stopped() const { return stopped_; }
+
  private:
   void arm() {
     event_ = sched_.schedule_in(period_, [this] {
+      event_ = {};  // fired; nothing left to cancel
       fn_(sched_.now());
-      arm();
+      if (!stopped_) arm();
     });
   }
 
@@ -41,6 +48,7 @@ class PeriodicProbe {
   sim::TimePs period_;
   std::function<void(sim::TimePs)> fn_;
   sim::EventId event_{};
+  bool stopped_ = false;
 };
 
 /// A (time, value) trace with CSV-ish dumping helpers.

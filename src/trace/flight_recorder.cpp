@@ -1,0 +1,37 @@
+#include <algorithm>
+
+#include "trace/trace.hpp"
+
+namespace gfc::trace {
+
+void FlightRecorder::observe(const TraceEvent& e) {
+  if (e.node < 0) return;
+  const auto idx = static_cast<std::size_t>(e.node);
+  while (nodes_.size() <= idx) nodes_.emplace_back(window_);
+  nodes_[idx].push(e);
+}
+
+std::vector<TraceEvent> FlightRecorder::node_window(std::int32_t node) const {
+  std::vector<TraceEvent> out;
+  if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size()) return out;
+  const TraceBuffer& ring = nodes_[static_cast<std::size_t>(node)];
+  out.reserve(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring[i]);
+  return out;
+}
+
+std::vector<TraceEvent> FlightRecorder::merged_window() const {
+  std::vector<TraceEvent> out;
+  for (const TraceBuffer& ring : nodes_)
+    for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring[i]);
+  // stable_sort keeps per-node push order for equal timestamps, and nodes_
+  // iterates in node-id order, so the merge is fully deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.node < b.node;
+                   });
+  return out;
+}
+
+}  // namespace gfc::trace

@@ -60,6 +60,35 @@ TEST(TimeSeries, MinMaxMixedAndEmpty) {
   EXPECT_DOUBLE_EQ(ts.min(), -1.0);
 }
 
+TEST(PeriodicProbe, StopFromOutsideCancelsFutureFires) {
+  sim::Scheduler sched;
+  int fires = 0;
+  PeriodicProbe probe(sched, us(10), [&](sim::TimePs) { ++fires; });
+  sched.run_until(us(35));
+  EXPECT_EQ(fires, 3);
+  probe.stop();
+  sched.run_until(us(100));
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(probe.stopped());
+}
+
+TEST(PeriodicProbe, StopFromInsideOwnCallbackTakesEffect) {
+  // Regression: stop() from inside the callback used to be a no-op — the
+  // timer event had already fired (cancel found nothing) and arm() re-armed
+  // unconditionally, so the probe kept firing forever.
+  sim::Scheduler sched;
+  int fires = 0;
+  PeriodicProbe* self = nullptr;
+  PeriodicProbe probe(sched, us(10), [&](sim::TimePs) {
+    if (++fires == 3) self->stop();
+  });
+  self = &probe;
+  sched.run_until(us(200));
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(probe.stopped());
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
 TEST(Cdf, EmptyIsSafe) {
   CdfBuilder cdf;
   EXPECT_EQ(cdf.mean(), 0.0);
