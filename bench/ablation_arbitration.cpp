@@ -12,7 +12,8 @@
 using namespace gfc;
 using namespace gfc::runner;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Ablation: arbitration policy x flow control (Fig 1 ring)",
                 "DESIGN.md / EXPERIMENTS.md discussion");
   struct Arch {
@@ -31,6 +32,7 @@ int main() {
   for (const Arch& a : archs) {
     for (FcKind kind : kinds) {
       ScenarioConfig cfg;
+      cfg.preflight = cli.preflight;
       cfg.switch_buffer = 300'000;
       cfg.arch = a.arch;
       cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate,

@@ -73,8 +73,12 @@ void export_trial_trace(const exp::CliOptions& cli, const std::string& name,
   bench::export_trace(fabric, art);
 }
 
+// Every trial's fabric honors the binary-wide --analyze mode.
+analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
+
 ScenarioConfig config_for(const Mech& m, std::uint64_t base) {
   ScenarioConfig cfg;
+  cfg.preflight = g_preflight;
   cfg.seed = 1 + base;
   cfg.fc = FcSetup::derive(m.kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
   if (m.heal) {
@@ -154,7 +158,8 @@ exp::TrialResult run_recovery_trial(const Mech& m, std::uint64_t base,
   RingScenario s = make_ring(cfg, 3, 2);
   net::Network& net = s.fabric->net();
   stats::ThroughputSampler tp(net, sim::us(100));
-  stats::DeadlockOptions dl_opts{sim::ms(1), 3, false, true};
+  stats::DeadlockOptions dl_opts;
+  dl_opts.recover = true;
   if (cli.trace)
     // First detection wins the file; later recoveries rewrite it with the
     // latest pre-stall window, which is still deterministic per trial.
@@ -216,6 +221,7 @@ exp::TrialResult run_flap_trial(const Mech& m, std::uint64_t base,
 
 int main(int argc, char** argv) {
   const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  g_preflight = cli.preflight;
   bench::header("Fault sweep: flow control under control-frame loss, "
                 "deadlock recovery, link flaps",
                 "robustness study; extends Table 1 / Fig 9 to runtime faults");

@@ -15,8 +15,9 @@ struct Trace {
   stats::TimeSeries rate_gbps;
 };
 
-Trace run(const FcSetup& fc) {
+Trace run(const FcSetup& fc, analyze::PreflightMode preflight) {
   ScenarioConfig cfg;
+  cfg.preflight = preflight;
   cfg.switch_buffer = 110'000;
   cfg.arch = net::SwitchArch::kCioqRoundRobin;
   cfg.control_delay = sim::us(25) - 2 * sim::tx_time(sim::gbps(10), 1500) -
@@ -41,11 +42,12 @@ Trace run(const FcSetup& fc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 5: queue & input-rate evolution, 2-to-1 incast",
                 "Fig. 5(a) PFC vs Fig. 5(b) conceptual GFC");
-  const Trace pfc = run(FcSetup::pfc(80'000, 77'000));
-  const Trace gfc = run(FcSetup::gfc_conceptual(50'000, 100'000));
+  const Trace pfc = run(FcSetup::pfc(80'000, 77'000), cli.preflight);
+  const Trace gfc = run(FcSetup::gfc_conceptual(50'000, 100'000), cli.preflight);
 
   std::printf("\n--- PFC (XOFF 80 KB / XON 77 KB) ---\n");
   bench::print_series("queue_KB", "KB", pfc.queue_kb, 4);

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::header("Figure 9: ring under PFC vs buffer-based GFC",
                 "Fig. 9(a)/(b), Sec 6.1 testbed parameters");
   ScenarioConfig cfg;
+  cfg.preflight = cli.preflight;
   cfg.switch_buffer = 1'000'000;
   cfg.control_delay =
       sim::us(90) - 2 * sim::tx_time(sim::gbps(10), 1500) - 2 * sim::us(1);

@@ -7,10 +7,12 @@
 using namespace gfc;
 using namespace gfc::runner;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 10: ring under CBFC vs time-based GFC",
                 "Fig. 10(a)/(b), Sec 6.1 testbed parameters");
   ScenarioConfig cfg;
+  cfg.preflight = cli.preflight;
   cfg.switch_buffer = 1'000'000;
   cfg.control_delay =
       sim::us(90) - 2 * sim::tx_time(sim::gbps(10), 1500) - 2 * sim::us(1);

@@ -19,8 +19,9 @@ struct CaseRun {
 };
 
 CaseRun run(const topo::Fig11Case& c, const FcSetup& fc, net::SwitchArch arch,
-            sim::TimePs duration) {
+            sim::TimePs duration, analyze::PreflightMode preflight) {
   ScenarioConfig cfg;
+  cfg.preflight = preflight;
   cfg.switch_buffer = 300'000;
   cfg.arch = arch;
   cfg.fc = fc;
@@ -64,12 +65,12 @@ void report(const char* label, const CaseRun& r,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 12: fat-tree case study, PFC vs buffer-based GFC",
                 "Fig. 11/12, Sec 6.2.2");
   // --quick: 6 ms instead of 20 (deadlock strikes by ~3 ms; see
   // EXPERIMENTS.md) so CI can smoke-run the full pipeline.
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const sim::TimePs duration = quick ? sim::ms(6) : sim::ms(20);
+  const sim::TimePs duration = cli.quick ? sim::ms(6) : sim::ms(20);
   topo::Topology t;
   const auto ft = topo::build_fattree(t, 4);
   const auto cases = topo::find_fig11_cases(t, ft, 1);
@@ -88,11 +89,13 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   const CaseRun pfc = run(c, FcSetup::pfc(280'000, 277'000),
-                          net::SwitchArch::kOutputQueuedFifo, duration);
+                          net::SwitchArch::kOutputQueuedFifo, duration,
+                          cli.preflight);
   report("PFC (arrival-order switches)", pfc, duration);
 
   const CaseRun gfc = run(c, FcSetup::gfc_buffer(281'000, 300'000),
-                          net::SwitchArch::kCioqRoundRobin, duration);
+                          net::SwitchArch::kCioqRoundRobin, duration,
+                          cli.preflight);
   report("buffer-based GFC (fair crossbar)", gfc, duration);
 
   std::printf("\nPaper shape: PFC flows all collapse to 0 (deadlock); GFC "

@@ -8,10 +8,12 @@ using namespace gfc::runner;
 
 namespace {
 
-double run_victim(const topo::Fig11Case& c, const topo::Topology& t,
+double run_victim(const topo::Fig11Case& c, const topo::Topology&,
                   const topo::FatTreeInfo& ft, FcKind kind,
-                  net::SwitchArch arch, bool* deadlocked) {
+                  net::SwitchArch arch, bool* deadlocked,
+                  analyze::PreflightMode preflight) {
   ScenarioConfig cfg;
+  cfg.preflight = preflight;
   cfg.switch_buffer = 300'000;
   cfg.arch = arch;
   cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
@@ -44,7 +46,8 @@ double run_victim(const topo::Fig11Case& c, const topo::Topology& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 14: victim-flow throughput", "Fig. 14(a)/(b)");
   topo::Topology t;
   const auto ft = topo::build_fattree(t, 4);
@@ -66,7 +69,7 @@ int main() {
   std::printf("%-12s %-10s %s\n", "mechanism", "deadlock", "victim tail Gb/s");
   for (const Row& r : rows) {
     bool dead = false;
-    const double v = run_victim(c, t, ft, r.kind, r.arch, &dead);
+    const double v = run_victim(c, t, ft, r.kind, r.arch, &dead, cli.preflight);
     std::printf("%-12s %-10s %6.2f\n", r.label, dead ? "YES" : "no", v);
   }
   std::printf("\nPaper shape: victim -> 0 under PFC/CBFC (pause propagation), "

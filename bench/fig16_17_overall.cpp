@@ -72,8 +72,13 @@ std::vector<ProneCase> scan_prone_cases(int k, std::uint64_t max_seed) {
   return out;
 }
 
+// Every trial's fabric honors the binary-wide --analyze mode (a kFail
+// verdict surfaces as a failed trial through the worker pool).
+analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
+
 ScenarioConfig config_for(FcKind kind) {
   ScenarioConfig cfg;
+  cfg.preflight = g_preflight;
   cfg.switch_buffer = 300'000;
   cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
   return cfg;
@@ -83,6 +88,7 @@ ScenarioConfig config_for(FcKind kind) {
 
 int main(int argc, char** argv) {
   const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  g_preflight = cli.preflight;
   bench::header("Figures 16/17: average available bandwidth and slowdown",
                 "Fig. 16(a)/(b), Fig. 17(a)/(b), Sec 6.2.3");
   const int kCbdFreeCases = cli.quick ? 6 : 14;

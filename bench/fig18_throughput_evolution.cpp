@@ -17,8 +17,11 @@ stats::TimeSeries run(FcKind kind, net::SwitchArch arch,
                       const topo::Fig11Case& c, bool with_combination,
                       bool* deadlocked, sim::TimePs* at,
                       const bench::TraceArtifacts& art = {},
-                      const trace::TraceOptions& topts = {}) {
+                      const trace::TraceOptions& topts = {},
+                      analyze::PreflightMode preflight =
+                          analyze::PreflightMode::kOff) {
   ScenarioConfig cfg;
+  cfg.preflight = preflight;
   cfg.switch_buffer = 300'000;
   cfg.arch = arch;
   cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
@@ -80,14 +83,16 @@ int main(int argc, char** argv) {
   sim::TimePs at_pfc = -1, at_gfc = -1, at_org = -1;
   const auto pfc = run(FcKind::kPfc, net::SwitchArch::kOutputQueuedFifo, c,
                        true, &dead_pfc, &at_pfc,
-                       bench::trace_artifacts_for(cli, "fig18_pfc_comb"), topts);
+                       bench::trace_artifacts_for(cli, "fig18_pfc_comb"), topts,
+                       cli.preflight);
   const auto gfc = run(FcKind::kGfcBuffer, net::SwitchArch::kCioqRoundRobin, c,
                        true, &dead_gfc, &at_gfc,
-                       bench::trace_artifacts_for(cli, "fig18_gfc_comb"), topts);
+                       bench::trace_artifacts_for(cli, "fig18_gfc_comb"), topts,
+                       cli.preflight);
   const auto org = run(FcKind::kGfcBuffer, net::SwitchArch::kCioqRoundRobin, c,
                        false, &dead_org, &at_org,
                        bench::trace_artifacts_for(cli, "fig18_gfc_organic"),
-                       topts);
+                       topts, cli.preflight);
 
   std::printf("\n%10s %12s %14s %14s\n", "t_us", "PFC+comb",
               "GFC+comb", "GFC organic");

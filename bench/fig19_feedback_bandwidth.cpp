@@ -10,14 +10,15 @@ using namespace gfc;
 using namespace gfc::runner;
 
 int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 19: occupied bandwidth of GFC feedback messages",
                 "Fig. 19, Sec 6.2.3");
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const int kRuns = quick ? 4 : 10;
+  const int kRuns = cli.quick ? 4 : 10;
   stats::CdfBuilder all;
   double mean_sum = 0;
   for (int r = 0; r < kRuns; ++r) {
     ScenarioConfig cfg;
+    cfg.preflight = cli.preflight;
     cfg.switch_buffer = 300'000;
     cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,
                              cfg.link.rate, cfg.tau());

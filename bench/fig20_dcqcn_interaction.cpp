@@ -11,10 +11,12 @@
 using namespace gfc;
 using namespace gfc::runner;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
   bench::header("Figure 20: GFC x DCQCN interaction (8-to-1 incast)",
                 "Fig. 20, Sec 7");
   ScenarioConfig cfg;
+  cfg.preflight = cli.preflight;
   cfg.switch_buffer = 300'000;
   cfg.arch = net::SwitchArch::kCioqRoundRobin;
   cfg.fc = FcSetup::derive(FcKind::kGfcBuffer, cfg.switch_buffer,

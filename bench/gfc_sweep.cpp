@@ -28,8 +28,10 @@ struct SweepPoint {
   double wire_m;
 };
 
-exp::TrialResult run_point(const SweepPoint& pt, sim::TimePs duration) {
+exp::TrialResult run_point(const SweepPoint& pt, sim::TimePs duration,
+                           analyze::PreflightMode preflight) {
   ScenarioConfig cfg;
+  cfg.preflight = preflight;
   cfg.link.rate = sim::gbps(pt.rate_gbps);
   cfg.link.prop_delay = sim::ns(pt.wire_m / 0.2);  // ~2e8 m/s on the wire
   cfg.switch_buffer = pt.buffer;
@@ -116,8 +118,10 @@ int main(int argc, char** argv) {
                        std::to_string(static_cast<int>(pt.rate_gbps)) + "G/" +
                        std::to_string(pt.buffer / 1000) + "KB/" +
                        std::to_string(static_cast<int>(pt.wire_m)) + "m";
-    campaign.add(std::move(name), p,
-                 [pt, duration] { return run_point(pt, duration); });
+    const analyze::PreflightMode preflight = cli.preflight;
+    campaign.add(std::move(name), p, [pt, duration, preflight] {
+      return run_point(pt, duration, preflight);
+    });
   }
 
   const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());

@@ -9,7 +9,10 @@
 using namespace gfc;
 using namespace gfc::core;
 
-int main() {
+int main(int argc, char** argv) {
+  // Purely analytic (no fabric is built), but accept the shared flag set
+  // so --analyze etc. are uniform across every bench binary.
+  exp::parse_cli(argc, argv);
   bench::header("Parameter analysis", "Secs 4.2, 5.4 (analytic tables)");
 
   std::printf("\nWorst-case tau (Eq. 6), t_w = 1 us, t_r = 3 us:\n");

@@ -26,15 +26,24 @@ struct CoveredCase {
   std::uint64_t seed;
   std::vector<topo::LinkIndex> failed;
   std::vector<topo::CbdStress::FlowSpec> stress_flows;
+  std::string witness;  // canonical CBD cycle (smallest link first)
+};
+
+/// A statically CBD-free sample, kept for runtime cross-validation: if the
+/// analyzer says no cycle exists, even PFC must never deadlock there.
+struct FreeCase {
+  std::uint64_t seed;
+  std::vector<topo::LinkIndex> failed;
 };
 
 struct ScaleScan {
   int sampled = 0;
   int prone = 0;
   std::vector<CoveredCase> covered;
+  std::vector<FreeCase> cbd_free;
 };
 
-ScaleScan scan_scale(int k, int n_topologies) {
+ScaleScan scan_scale(int k, int n_topologies, int keep_free) {
   ScaleScan out;
   for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(n_topologies);
        ++seed) {
@@ -47,11 +56,16 @@ ScaleScan scan_scale(int k, int n_topologies) {
     topo::BufferDependencyGraph g(t);
     g.add_routing_closure(routing);
     const auto cbd = g.find_cycle();
-    if (!cbd.has_cbd) continue;
+    if (!cbd.has_cbd) {
+      if (static_cast<int>(out.cbd_free.size()) < keep_free)
+        out.cbd_free.push_back({seed, std::move(failed)});
+      continue;
+    }
     ++out.prone;
     auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
     if (!stress.covered) continue;
-    out.covered.push_back({seed, std::move(failed), std::move(stress.flows)});
+    out.covered.push_back({seed, std::move(failed), std::move(stress.flows),
+                           topo::describe_links(t, cbd.cycle)});
   }
   return out;
 }
@@ -75,8 +89,19 @@ int main(int argc, char** argv) {
                            FcKind::kGfcTime};
   const char* names[4] = {"PFC", "CBFC", "GFC-buffer", "GFC-time"};
 
+  // Cross-validation sample: statically CBD-free k=4 fabrics get a PFC
+  // closed-loop run below — the analyzer's "deadlock_free" verdict must
+  // translate into zero runtime detections.
   std::vector<ScaleScan> scans;
-  for (const Scale& s : scales) scans.push_back(scan_scale(s.k, s.n));
+  for (const Scale& s : scales)
+    scans.push_back(scan_scale(s.k, s.n, s.k == 4 ? 4 : 0));
+
+  std::printf("\nCBD witnesses (canonical: cycle rotated to its smallest "
+              "link):\n");
+  for (std::size_t si = 0; si < std::size(scales); ++si)
+    for (const CoveredCase& c : scans[si].covered)
+      std::printf("  k=%-3d seed=%-4llu %s\n", scales[si].k,
+                  static_cast<unsigned long long>(c.seed), c.witness.c_str());
 
   exp::Campaign campaign;
   campaign.name = "table1_deadlock_cases";
@@ -93,10 +118,12 @@ int main(int argc, char** argv) {
         const int k = s.k;
         const sim::TimePs dur = s.dur;
         const std::uint64_t base = cli.seed;
+        const analyze::PreflightMode preflight = cli.preflight;
         campaign.add("k" + std::to_string(s.k) + "/seed" +
                          std::to_string(c.seed) + "/" + names[m],
-                     std::move(p), [kind, k, dur, c, base] {
+                     std::move(p), [kind, k, dur, c, base, preflight] {
                        ScenarioConfig cfg;
+                       cfg.preflight = preflight;
                        cfg.seed = 1 + base;
                        cfg.switch_buffer = 300'000;
                        cfg.fc = FcSetup::derive(kind, cfg.switch_buffer,
@@ -108,13 +135,41 @@ int main(int argc, char** argv) {
                              f.src, f.dst, 0, net::Flow::kUnbounded, 0);
                          flow.path_salt = f.salt;
                        }
-                       stats::DeadlockDetector det(net, {sim::ms(1), 3, true});
+                       stats::DeadlockOptions dl_opts;
+                       dl_opts.stop_on_detect = true;
+                       stats::DeadlockDetector det(net, dl_opts);
                        net.run_until(dur);
                        return exp::TrialResult().add("deadlocked",
                                                      det.deadlocked());
                      });
       }
     }
+  }
+
+  // Cross-validation trials (appended after the matrix so the idx-based
+  // report below is unchanged): CBD-free fabric + PFC + closed loop.
+  for (const FreeCase& c : scans[0].cbd_free) {
+    exp::ParamSet p;
+    p.set("k", 4);
+    p.set("seed", c.seed);
+    p.set("mechanism", "PFC/cbd-free");
+    const std::uint64_t base = cli.seed;
+    const analyze::PreflightMode preflight = cli.preflight;
+    campaign.add("xval/k4/seed" + std::to_string(c.seed), std::move(p),
+                 [c, base, preflight] {
+                   ScenarioConfig cfg;
+                   cfg.preflight = preflight;
+                   cfg.seed = 1 + base;
+                   cfg.switch_buffer = 300'000;
+                   cfg.fc = FcSetup::derive(FcKind::kPfc, cfg.switch_buffer,
+                                            cfg.link.rate, cfg.tau());
+                   auto sc = make_fattree(cfg, 4, c.failed);
+                   RunOptions opts;
+                   opts.duration = sim::ms(8);
+                   opts.workload_seed = 1000 + c.seed + base;
+                   const RunSummary r = run_closed_loop(sc, opts);
+                   return exp::TrialResult().add("deadlocked", r.deadlocked);
+                 });
   }
 
   const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
@@ -144,11 +199,29 @@ int main(int argc, char** argv) {
   std::printf("\nPaper shape (Table 1): PFC and CBFC deadlock in the same\n"
               "scenarios, counts decrease with scale, both GFC variants are 0.\n");
 
+  int xval_deadlocks = 0;
+  for (const FreeCase& c : scans[0].cbd_free) {
+    const exp::TrialRecord* t =
+        result.find("xval/k4/seed" + std::to_string(c.seed));
+    if (t != nullptr && !t->failed &&
+        t->metrics.find("deadlocked")->as_bool())
+      ++xval_deadlocks;
+  }
+  std::printf("\nCross-validation: %d statically CBD-free k=4 fabrics ran "
+              "closed-loop under PFC;\n%d deadlocked (a nonzero count here "
+              "falsifies the static analysis).\n",
+              static_cast<int>(scans[0].cbd_free.size()), xval_deadlocks);
+
   const bool ok = exp::finish_cli(cli, result);
   if (gfc_deadlocks > 0)
     std::fprintf(stderr,
                  "FAIL: %d GFC trial(s) deadlocked; the paper's Theorem 4.1/"
                  "5.1 guarantee is zero\n",
                  gfc_deadlocks);
-  return (ok && gfc_deadlocks == 0) ? 0 : 1;
+  if (xval_deadlocks > 0)
+    std::fprintf(stderr,
+                 "FAIL: %d statically CBD-free fabric(s) deadlocked at "
+                 "runtime\n",
+                 xval_deadlocks);
+  return (ok && gfc_deadlocks == 0 && xval_deadlocks == 0) ? 0 : 1;
 }

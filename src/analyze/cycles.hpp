@@ -1,0 +1,37 @@
+// Deterministic directed-graph algorithms for the static analyzer:
+// Tarjan's strongly-connected components and Johnson's enumeration of all
+// elementary cycles. Both are pure functions of the adjacency lists (no
+// hashing, no address-ordered iteration), so results are byte-identical
+// across runs and platforms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gfc::analyze {
+
+/// Adjacency-list digraph: adj[v] lists v's out-neighbors.
+using Adjacency = std::vector<std::vector<int>>;
+
+/// Tarjan SCC decomposition. Components are returned with their member
+/// vertices sorted ascending, and the component list itself sorted by
+/// smallest member, so the output is canonical for a given graph.
+std::vector<std::vector<int>> strongly_connected_components(
+    const Adjacency& adj);
+
+struct CycleEnumeration {
+  /// Every elementary (simple, closed) cycle, each rotated so its smallest
+  /// vertex leads, the list sorted by (length, vertex sequence).
+  std::vector<std::vector<int>> cycles;
+  /// True when enumeration stopped at `max_cycles`; `cycles` is then a
+  /// prefix of the full set, not the whole truth.
+  bool truncated = false;
+};
+
+/// Johnson's algorithm (SIAM J. Comput. 1975): all elementary cycles of
+/// the digraph, capped at `max_cycles`. Self-loops count as length-1
+/// cycles. Worst-case cost O((V + E) * (#cycles + 1)).
+CycleEnumeration elementary_cycles(const Adjacency& adj,
+                                   std::size_t max_cycles = 4096);
+
+}  // namespace gfc::analyze

@@ -1,0 +1,14 @@
+// Pre-flight analysis mode, shared between runner::ScenarioConfig and
+// exp::CliOptions (--analyze[=fail]). Lives in its own header so neither
+// side has to pull in the analyzer proper.
+#pragma once
+
+namespace gfc::analyze {
+
+enum class PreflightMode {
+  kOff,   // no pre-flight analysis (seed behavior)
+  kWarn,  // analyze, report risks on stderr, run anyway
+  kFail,  // analyze, throw PreflightError on an at-risk verdict
+};
+
+}  // namespace gfc::analyze

@@ -1,0 +1,160 @@
+// Report rendering: deterministic "gfc-analyze-v1" JSON (byte-identical
+// across runs, platforms and job counts — same discipline as the campaign
+// results store) and the human-readable console form.
+#include <cstdio>
+
+#include "analyze/analyze.hpp"
+#include "exp/value.hpp"
+
+namespace gfc::analyze {
+
+namespace {
+
+std::string quote(const std::string& s) { return exp::Value::quote(s); }
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += quote(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string Report::summary() const {
+  std::string out = verdict_name(verdict());
+  out += ": ";
+  if (cbd_free()) {
+    out += "no CBD cycles";
+  } else {
+    std::size_t activated = 0;
+    for (const CycleInfo& c : cycles) activated += c.activated ? 1 : 0;
+    out += std::to_string(cycles.size()) + " CBD cycle" +
+           (cycles.size() == 1 ? "" : "s");
+    if (truncated) out += " (truncated)";
+    if (activated > 0)
+      out += " (" + std::to_string(activated) + " activated by flows)";
+  }
+  std::size_t violations = 0;
+  for (const BoundCheck& b : bounds) violations += b.ok ? 0 : 1;
+  if (violations > 0)
+    out += ", " + std::to_string(violations) + " bound violation" +
+           (violations == 1 ? "" : "s");
+  if (!lints.empty())
+    out += ", " + std::to_string(lints.size()) + " lint" +
+           (lints.size() == 1 ? "" : "s");
+  return out;
+}
+
+std::string Report::json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"gfc-analyze-v1\",\n";
+  out += "  \"scenario\": " + quote(scenario) + ",\n";
+  out += "  \"mechanism\": " + quote(mechanism) + ",\n";
+  out += "  \"hosts\": " + std::to_string(hosts) + ",\n";
+  out += "  \"switches\": " + std::to_string(switches) + ",\n";
+  out += "  \"links_up\": " + std::to_string(links_up) + ",\n";
+  out += "  \"buffer_per_port\": " + std::to_string(buffer_per_port) + ",\n";
+  out += "  \"tau_ps\": {\"serialization\": " +
+         std::to_string(tau_serialization) +
+         ", \"wire\": " + std::to_string(tau_wire) +
+         ", \"processing\": " + std::to_string(tau_processing) +
+         ", \"total\": " + std::to_string(tau_total) + "},\n";
+  out += "  \"cbd\": {\n";
+  out += "    \"vertices\": " + std::to_string(bdg_vertices) + ",\n";
+  out += "    \"edges\": " + std::to_string(bdg_edges) + ",\n";
+  out += "    \"sccs\": " + std::to_string(sccs) + ",\n";
+  out += "    \"cyclic_sccs\": " + std::to_string(cyclic_sccs) + ",\n";
+  out += "    \"cycle_count\": " + std::to_string(cycles.size()) + ",\n";
+  out += std::string("    \"truncated\": ") + (truncated ? "true" : "false") +
+         ",\n";
+  out += "    \"cycles\": [";
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const CycleInfo& c = cycles[i];
+    out += i ? ",\n      " : "\n      ";
+    out += "{\"length\": " + std::to_string(c.links.size());
+    out += ", \"links\": " + json_string_array(c.link_names);
+    out += ", \"flows\": [";
+    for (std::size_t j = 0; j < c.flows.size(); ++j) {
+      if (j) out += ", ";
+      out += std::to_string(c.flows[j]);
+    }
+    out += "], \"activated\": ";
+    out += c.activated ? "true" : "false";
+    out += "}";
+  }
+  out += cycles.empty() ? "]\n" : "\n    ]\n";
+  out += "  },\n";
+  out += "  \"bounds\": [";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const BoundCheck& b = bounds[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": " + quote(b.name) + ", \"formula\": " + quote(b.formula) +
+           ", \"lhs\": " + std::to_string(b.lhs) +
+           ", \"rhs\": " + std::to_string(b.rhs) + ", \"ok\": " +
+           (b.ok ? "true" : "false") + "}";
+  }
+  out += bounds.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"lints\": [";
+  for (std::size_t i = 0; i < lints.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"kind\": " + quote(lints[i].kind) + ", \"message\": " +
+           quote(lints[i].message) + "}";
+  }
+  out += lints.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"verdict\": " + quote(verdict_name(verdict())) + "\n";
+  out += "}\n";
+  return out;
+}
+
+void Report::print_human(std::FILE* out) const {
+  if (out == nullptr) out = stdout;
+  std::fprintf(out, "gfc-analyze: %s\n",
+               scenario.empty() ? "(unnamed scenario)" : scenario.c_str());
+  std::fprintf(out,
+               "  topology: %zu hosts, %zu switches, %zu links up; "
+               "mechanism %s, buffer %lld B/port\n",
+               hosts, switches, links_up, mechanism.c_str(),
+               static_cast<long long>(buffer_per_port));
+  std::fprintf(out,
+               "  tau = %.3f us (serialization %.3f + wire %.3f + "
+               "processing %.3f)\n",
+               sim::to_us(tau_total), sim::to_us(tau_serialization),
+               sim::to_us(tau_wire), sim::to_us(tau_processing));
+  std::fprintf(out,
+               "  buffer-dependency graph: %zu vertices, %zu edges, %zu "
+               "SCCs (%zu cyclic)\n",
+               bdg_vertices, bdg_edges, sccs, cyclic_sccs);
+  if (cycles.empty()) {
+    std::fprintf(out, "  CBD cycles: none — circular wait is impossible\n");
+  } else {
+    std::fprintf(out, "  CBD cycles: %zu%s\n", cycles.size(),
+                 truncated ? " (enumeration truncated)" : "");
+    for (const CycleInfo& c : cycles) {
+      std::string line;
+      for (std::size_t i = 0; i < c.link_names.size(); ++i) {
+        if (i) line += " -> ";
+        line += c.link_names[i];
+      }
+      std::fprintf(out, "    [len %zu%s] %s\n", c.links.size(),
+                   c.activated ? ", ACTIVATED" : "", line.c_str());
+    }
+  }
+  if (!bounds.empty()) {
+    std::fprintf(out, "  safety bounds (%s):\n", mechanism.c_str());
+    for (const BoundCheck& b : bounds)
+      std::fprintf(out, "    %-22s %-40s %lld <= %lld  %s\n", b.name.c_str(),
+                   b.formula.c_str(), static_cast<long long>(b.lhs),
+                   static_cast<long long>(b.rhs),
+                   b.ok ? "ok" : "VIOLATED");
+  }
+  for (const LintFinding& l : lints)
+    std::fprintf(out, "  lint [%s] %s\n", l.kind.c_str(), l.message.c_str());
+  std::fprintf(out, "  verdict: %s\n", verdict_name(verdict()));
+}
+
+}  // namespace gfc::analyze

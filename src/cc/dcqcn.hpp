@@ -8,7 +8,7 @@
 // ladder driven by a timer and a byte counter.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "net/network.hpp"
 
@@ -67,8 +67,8 @@ class DcqcnModule final : public net::CcModule {
 
   net::Network& net_;
   DcqcnConfig cfg_;
-  std::unordered_map<net::FlowId, FlowState> state_;
-  std::unordered_map<net::FlowId, sim::TimePs> last_cnp_sent_;
+  std::map<net::FlowId, FlowState> state_;
+  std::map<net::FlowId, sim::TimePs> last_cnp_sent_;
   std::uint64_t cnps_sent_ = 0;
 };
 

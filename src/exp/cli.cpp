@@ -12,8 +12,8 @@ namespace {
   std::fprintf(stderr, "unknown or incomplete argument: %s\n", bad);
   std::fprintf(stderr,
                "usage: %s [--quick] [--jobs N] [--seed N] [--json PATH] "
-               "[--timing] [--no-progress] [--trace] [--trace-out DIR] "
-               "[--trace-categories LIST]\n",
+               "[--timing] [--no-progress] [--analyze[=fail]] [--trace] "
+               "[--trace-out DIR] [--trace-categories LIST]\n",
                prog);
   std::exit(2);
 }
@@ -45,6 +45,12 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (!std::strncmp(a, "--json=", 7)) {
       opts.json_path = a + 7;
+    } else if (!std::strcmp(a, "--analyze")) {
+      opts.preflight = analyze::PreflightMode::kWarn;
+    } else if (!std::strcmp(a, "--analyze=fail")) {
+      opts.preflight = analyze::PreflightMode::kFail;
+    } else if (!std::strcmp(a, "--analyze=warn")) {
+      opts.preflight = analyze::PreflightMode::kWarn;
     } else if (!std::strcmp(a, "--trace")) {
       opts.trace = true;
     } else if (!std::strcmp(a, "--trace-out")) {

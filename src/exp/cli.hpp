@@ -9,10 +9,13 @@
 //   --trace-out DIR       write per-trial trace artifacts under DIR
 //   --trace-categories S  comma list (port,link,pfc,credit,gfc,sched,
 //                         deadlock,flow) or "all"       [default all]
+//   --analyze[=fail]      static pre-flight deadlock-risk analysis per
+//                         fabric: warn on stderr, or fail the trial
 #pragma once
 
 #include <string>
 
+#include "analyze/mode.hpp"
 #include "exp/worker_pool.hpp"
 #include "trace/trace.hpp"
 
@@ -28,6 +31,10 @@ struct CliOptions {
   /// Zero — the default — reproduces the historical fixed-seed outputs.
   std::uint64_t seed = 0;
   std::string json_path;  // empty = don't write JSON
+
+  /// Static pre-flight analysis mode for every fabric the binary builds
+  /// (assign to ScenarioConfig::preflight after parse_cli).
+  analyze::PreflightMode preflight = analyze::PreflightMode::kOff;
 
   // Tracing (see src/trace/): each trial gets its own Tracer, so artifacts
   // are deterministic at any --jobs.

@@ -5,18 +5,6 @@
 
 namespace gfc::runner {
 
-const char* fc_name(FcKind kind) {
-  switch (kind) {
-    case FcKind::kNone: return "none";
-    case FcKind::kPfc: return "PFC";
-    case FcKind::kCbfc: return "CBFC";
-    case FcKind::kGfcBuffer: return "GFC-buffer";
-    case FcKind::kGfcTime: return "GFC-time";
-    case FcKind::kGfcConceptual: return "GFC-conceptual";
-  }
-  return "?";
-}
-
 FcSetup FcSetup::pfc(std::int64_t xoff, std::int64_t xon) {
   FcSetup s;
   s.kind = FcKind::kPfc;

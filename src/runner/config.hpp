@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "analyze/mode.hpp"
 #include "core/mapping.hpp"
 #include "core/params.hpp"
 #include "fault/fault.hpp"
@@ -25,7 +26,19 @@ enum class FcKind {
   kGfcConceptual,
 };
 
-const char* fc_name(FcKind kind);
+// Inline so header-only consumers (the static analyzer) need no
+// gfc_runner symbols.
+inline const char* fc_name(FcKind kind) {
+  switch (kind) {
+    case FcKind::kNone: return "none";
+    case FcKind::kPfc: return "PFC";
+    case FcKind::kCbfc: return "CBFC";
+    case FcKind::kGfcBuffer: return "GFC-buffer";
+    case FcKind::kGfcTime: return "GFC-time";
+    case FcKind::kGfcConceptual: return "GFC-conceptual";
+  }
+  return "?";
+}
 
 struct LinkConfig {
   sim::Rate rate = sim::gbps(10);
@@ -107,6 +120,11 @@ struct ScenarioConfig {
   /// Binary event tracing (src/trace/). Disabled (the default) costs one
   /// null-pointer branch per instrumentation site.
   trace::TraceOptions trace;
+
+  /// Static pre-flight analysis (src/analyze/), run when a Fabric installs
+  /// its routing: kWarn reports deadlock risks on stderr, kFail throws
+  /// analyze::PreflightError on an at-risk verdict. Off by default.
+  analyze::PreflightMode preflight = analyze::PreflightMode::kOff;
 
   /// Worst-case feedback latency for these parameters (Eq. 6 with this
   /// config's processing delay).

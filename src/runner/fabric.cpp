@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analyze/analyze.hpp"
 #include "core/gfc_buffer.hpp"
 #include "core/gfc_conceptual.hpp"
 #include "core/gfc_time.hpp"
@@ -94,6 +95,11 @@ int Fabric::port_to(topo::NodeIndex from, topo::NodeIndex to) const {
 
 void Fabric::install_routing(const topo::Topology& topo,
                              const topo::RoutingTable& routing) {
+  // Pre-flight: the one spot where topology, routing and flow-control
+  // parameters are all known before any event is scheduled. kFail throws
+  // analyze::PreflightError on an at-risk verdict (campaign worker pools
+  // record it as the trial's failure).
+  analyze::preflight(cfg_.preflight, topo, routing, cfg_);
   for (topo::NodeIndex s : topo.switches()) {
     net::SwitchNode& swn = sw(s);
     swn.clear_routes();

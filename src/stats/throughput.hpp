@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -40,7 +40,7 @@ class ThroughputSampler final : public net::DeliveryListener {
 
   sim::TimePs bin_;
   Key key_;
-  std::unordered_map<std::int64_t, std::vector<std::int64_t>> bins_;
+  std::map<std::int64_t, std::vector<std::int64_t>> bins_;
   std::size_t max_bin_ = 0;
   std::int64_t total_bytes_ = 0;
 };

@@ -7,7 +7,11 @@ namespace gfc::topo {
 
 namespace {
 std::string idx_name(const char* prefix, int i) {
-  return std::string(prefix) + std::to_string(i);
+  // Built via += : GCC 12's -O3 -Wrestrict misfires on prefix + suffix
+  // string concatenation (PR105651).
+  std::string name(prefix);
+  name += std::to_string(i);
+  return name;
 }
 }  // namespace
 

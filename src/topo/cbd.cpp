@@ -75,11 +75,30 @@ void BufferDependencyGraph::add_routing_closure(const RoutingTable& routing) {
   }
 }
 
+void canonicalize_cycle(std::vector<DirectedLink>* cycle) {
+  if (cycle->empty()) return;
+  const auto smallest = std::min_element(cycle->begin(), cycle->end());
+  std::rotate(cycle->begin(), smallest, cycle->end());
+}
+
+std::string describe_links(const Topology& topo,
+                           const std::vector<DirectedLink>& cycle) {
+  std::string out;
+  for (const auto& [from, to] : cycle) {
+    if (!out.empty()) out += " -> ";
+    out += topo.node(from).name + "->" + topo.node(to).name;
+  }
+  return out;
+}
+
 CbdResult BufferDependencyGraph::find_cycle() const {
   CbdResult result;
   const int n = static_cast<int>(vertices_.size());
   // Iterative DFS with tri-color marking; reconstruct the cycle from the
-  // parent chain when a back edge is found.
+  // parent chain when a back edge is found. Roots are tried in ascending
+  // vertex order and edges in insertion order, so the selected cycle is a
+  // pure function of the graph construction sequence; the witness is then
+  // rotated into canonical smallest-link-first form.
   std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 white 1 grey 2 black
   std::vector<int> parent(static_cast<std::size_t>(n), -1);
   for (int root = 0; root < n; ++root) {
@@ -104,6 +123,7 @@ CbdResult BufferDependencyGraph::find_cycle() const {
           std::reverse(cyc.begin(), cyc.end());
           for (int u : cyc)
             result.cycle.push_back(vertices_[static_cast<std::size_t>(u)]);
+          canonicalize_cycle(&result.cycle);
           return result;
         }
       } else {

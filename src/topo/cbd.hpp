@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,7 +21,9 @@ using DirectedLink = std::pair<NodeIndex, NodeIndex>;
 
 struct CbdResult {
   bool has_cbd = false;
-  /// One witness cycle of directed links (empty if none).
+  /// One witness cycle of directed links (empty if none), in canonical
+  /// form: rotated so the smallest DirectedLink (lexicographic (from, to)
+  /// order) leads. See find_cycle() for which cycle is selected.
   std::vector<DirectedLink> cycle;
 };
 
@@ -36,9 +39,20 @@ class BufferDependencyGraph {
   /// (the pre-filter used for Table 1).
   void add_routing_closure(const RoutingTable& routing);
 
+  /// One witness cycle, deterministically selected: a DFS in ascending
+  /// vertex order (vertices are numbered by first insertion, itself a
+  /// deterministic function of the added paths/closure) reports the first
+  /// back edge it meets, and the witness is rotated so its smallest
+  /// DirectedLink comes first. Exhaustive enumeration with per-cycle
+  /// metadata lives in analyze::enumerate_cbd (src/analyze/).
   CbdResult find_cycle() const;
 
   std::size_t vertex_count() const { return vertices_.size(); }
+
+  /// Vertex i's directed link. Exposed for the static analyzer.
+  const std::vector<DirectedLink>& links() const { return vertices_; }
+  /// Out-edges per vertex, in insertion order. Exposed for the analyzer.
+  const std::vector<std::vector<int>>& adjacency() const { return edges_; }
 
  private:
   int vertex(DirectedLink l);
@@ -48,6 +62,15 @@ class BufferDependencyGraph {
   std::vector<DirectedLink> vertices_;
   std::vector<std::vector<int>> edges_;
 };
+
+/// Rotate a cycle of directed links so the smallest link (lexicographic
+/// (from, to) order) comes first. The canonical form every witness and
+/// enumerated cycle is reported in.
+void canonicalize_cycle(std::vector<DirectedLink>* cycle);
+
+/// "S0->S1 -> S1->S2 -> S2->S0" — a cycle rendered with topology names.
+std::string describe_links(const Topology& topo,
+                           const std::vector<DirectedLink>& cycle);
 
 /// Convenience: is the routed topology CBD-prone at all?
 bool cbd_prone(const Topology& topo, const RoutingTable& routing);

@@ -3,7 +3,7 @@
 // the next when it completes.
 #pragma once
 
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "net/network.hpp"
@@ -39,7 +39,7 @@ class ClosedLoopGenerator {
   std::uint8_t priority_;
   bool active_ = false;
   std::uint64_t flows_started_ = 0;
-  std::unordered_set<net::FlowId> mine_;
+  std::set<net::FlowId> mine_;
 };
 
 }  // namespace gfc::workload

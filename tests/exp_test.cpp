@@ -84,15 +84,20 @@ TEST(WorkerPool, ResultsInCampaignOrderAnyJobCount) {
     for (int i = 0; i < 17; ++i) {
       ParamSet p;
       p.set("i", i);
-      c.add("t" + std::to_string(i), p,
+      std::string name("t");  // += form: -Wrestrict misfire (PR105651)
+      name += std::to_string(i);
+      c.add(name, p,
             [i] { return TrialResult().add("square", std::int64_t{i} * i); });
     }
     const CampaignResult r = run_campaign(c, PoolOptions{jobs, false, nullptr});
     ASSERT_EQ(r.trials.size(), 17u);
     EXPECT_EQ(r.jobs, jobs);
     for (int i = 0; i < 17; ++i) {
-      EXPECT_EQ(r.trials[static_cast<std::size_t>(i)].name,
-                "t" + std::to_string(i));
+      // Built via += : GCC 12's -O3 -Wrestrict misfires on literal +
+      // temporary string concatenation (PR105651).
+      std::string want("t");
+      want += std::to_string(i);
+      EXPECT_EQ(r.trials[static_cast<std::size_t>(i)].name, want);
       EXPECT_EQ(r.trials[static_cast<std::size_t>(i)]
                     .metrics.find("square")
                     ->as_int(),

@@ -319,7 +319,9 @@ TEST(LinkFlap, RandomFlapsAreSeedStable) {
     EXPECT_EQ(a[i].a, b[i].a);
     EXPECT_EQ(a[i].b, b[i].b);
     EXPECT_EQ(a[i].up, b[i].up);
-    if (i) EXPECT_GE(a[i].at, a[i - 1].at);  // time-sorted
+    if (i) {
+      EXPECT_GE(a[i].at, a[i - 1].at);  // time-sorted
+    }
   }
 }
 
@@ -333,8 +335,9 @@ TEST(DeadlockRecovery, DrainsRingAndKeepsDelivering) {
   auto s = runner::make_ring(cfg, 3, 2);
   net::Network& net = s.fabric->net();
   stats::ThroughputSampler tp(net, us(100));
-  stats::DeadlockDetector det(
-      net, stats::DeadlockOptions{ms(1), 3, /*stop=*/false, /*recover=*/true});
+  stats::DeadlockOptions dl_opts;
+  dl_opts.recover = true;
+  stats::DeadlockDetector det(net, dl_opts);
   net.run_until(ms(10));
   EXPECT_GE(det.detections(), 1);
   EXPECT_GE(det.recoveries(), 1);

@@ -166,7 +166,9 @@ TEST(Table1Method, StressProbeDeadlocksBaselinesOnly) {
           net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
       flow.path_salt = f.salt;
     }
-    stats::DeadlockDetector det(net, {ms(1), 3, true});
+    stats::DeadlockOptions dl_opts;
+    dl_opts.stop_on_detect = true;
+    stats::DeadlockDetector det(net, dl_opts);
     net.run_until(ms(15));
     const bool expect_deadlock =
         kind == FcKind::kPfc || kind == FcKind::kCbfc;

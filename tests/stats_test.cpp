@@ -270,7 +270,9 @@ TEST(Deadlock, StopOnDetectHaltsEarly) {
   cfg.fc = runner::FcSetup::derive(runner::FcKind::kPfc, cfg.switch_buffer,
                                    cfg.link.rate, cfg.tau());
   auto s = runner::make_ring(cfg);
-  DeadlockDetector detector(s.fabric->net(), {ms(1), 3, true});
+  DeadlockOptions dl_opts;
+  dl_opts.stop_on_detect = true;
+  DeadlockDetector detector(s.fabric->net(), dl_opts);
   s.fabric->net().run_until(ms(100));
   ASSERT_TRUE(detector.deadlocked());
   EXPECT_LT(s.fabric->net().sched().now(), ms(50));

@@ -1,0 +1,169 @@
+// gfc-analyze: static deadlock-risk analysis from the command line.
+//
+// Builds one of the named scenarios (topology + routing + flows), runs
+// the src/analyze/ pass — full elementary-cycle CBD enumeration, safety-
+// bound verification, routing lints — and prints a human report and/or
+// the deterministic "gfc-analyze-v1" JSON. No simulation event is ever
+// scheduled: everything here is decided from the configuration alone.
+//
+//   gfc-analyze SCENARIO [options]
+//
+// SCENARIO:
+//   ring[:N[:H]]        N-switch ring (default 3), flows i -> i+H (def. 2)
+//   fattree:K           k-ary fat-tree, shortest-path ECMP, no failures
+//   fattree:K:seed=S    + the Table 1 recipe: 5% random failures from the
+//                       k-salted seed stream, CBD stress flows if covered
+//   fattree:K:fail=a,b  + fail the a-th, b-th, ... switch-to-switch links
+//   incast:N            N-to-1 dumbbell
+//   loop2               2-switch routing loop (the minimal lint fixture)
+//
+// Options:
+//   --fc NAME        none|pfc|cbfc|gfc-buffer|gfc-time|gfc-conceptual
+//                    (default pfc)
+//   --buffer BYTES   per-port buffer B_m (default 300000)
+//   --b1/--b0/--bm/--xoff/--xon BYTES, --period-us T
+//                    explicit mechanism parameters; omitted ones are
+//                    derived from --buffer via the paper's bounds
+//   --max-cycles N   Johnson enumeration cap (default 4096)
+//   --json PATH      write the JSON report to PATH ('-' = stdout, which
+//                    suppresses the human report)
+//   --fail           exit 3 when the verdict is at_risk
+//
+// Exit status: 0 ok, 2 usage error, 3 at-risk verdict under --fail.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analyze/analyze.hpp"
+#include "analyze/scenario.hpp"
+
+using namespace gfc;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s SCENARIO [--fc NAME] [--buffer BYTES]\n"
+      "          [--b1 B] [--b0 B] [--bm B] [--xoff B] [--xon B]\n"
+      "          [--period-us T] [--max-cycles N] [--json PATH] [--fail]\n"
+      "SCENARIO: ring[:N[:H]] | fattree:K[:seed=S|:fail=a,b] | incast:N |"
+      " loop2\n",
+      prog);
+  return 2;
+}
+
+bool parse_fc_kind(const std::string& name, runner::FcKind* out) {
+  if (name == "none") *out = runner::FcKind::kNone;
+  else if (name == "pfc") *out = runner::FcKind::kPfc;
+  else if (name == "cbfc") *out = runner::FcKind::kCbfc;
+  else if (name == "gfc-buffer") *out = runner::FcKind::kGfcBuffer;
+  else if (name == "gfc-time") *out = runner::FcKind::kGfcTime;
+  else if (name == "gfc-conceptual") *out = runner::FcKind::kGfcConceptual;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string spec = argv[1];
+
+  runner::FcKind kind = runner::FcKind::kPfc;
+  std::int64_t buffer = 300'000;
+  std::int64_t b1 = -1, b0 = -1, bm = -1, xoff = -1, xon = -1;
+  double period_us = -1;
+  std::size_t max_cycles = 4096;
+  std::string json_path;
+  bool fail_on_risk = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](std::int64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoll(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (!std::strcmp(a, "--fc")) {
+      if (i + 1 >= argc || !parse_fc_kind(argv[++i], &kind))
+        return usage(argv[0]);
+    } else if (!std::strcmp(a, "--buffer")) {
+      if (!value(&buffer)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--b1")) {
+      if (!value(&b1)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--b0")) {
+      if (!value(&b0)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--bm")) {
+      if (!value(&bm)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--xoff")) {
+      if (!value(&xoff)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--xon")) {
+      if (!value(&xon)) return usage(argv[0]);
+    } else if (!std::strcmp(a, "--period-us")) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      period_us = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(a, "--max-cycles")) {
+      std::int64_t v = 0;
+      if (!value(&v) || v < 1) return usage(argv[0]);
+      max_cycles = static_cast<std::size_t>(v);
+    } else if (!std::strcmp(a, "--json")) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      json_path = argv[++i];
+    } else if (!std::strcmp(a, "--fail")) {
+      fail_on_risk = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      return usage(argv[0]);
+    }
+  }
+
+  analyze::BuiltScenario scenario;
+  std::string err;
+  if (!analyze::build_scenario(spec, &scenario, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+
+  runner::ScenarioConfig cfg;
+  cfg.switch_buffer = buffer;
+  cfg.fc = runner::FcSetup::derive(kind, buffer, cfg.link.rate, cfg.tau(),
+                                   cfg.link.mtu);
+  // Explicit overrides replace the derived values field by field, so a
+  // deliberately out-of-bound parameter can be checked against the bound.
+  if (b1 >= 0) cfg.fc.b1 = b1;
+  if (b0 >= 0) cfg.fc.b0 = b0;
+  if (bm >= 0) cfg.fc.bm = bm;
+  if (xoff >= 0) cfg.fc.xoff = xoff;
+  if (xon >= 0) cfg.fc.xon = xon;
+  if (period_us >= 0) cfg.fc.period = sim::us(period_us);
+
+  analyze::Input in;
+  in.topo = &scenario.topo;
+  in.routing = &scenario.routing;
+  in.cfg = cfg;
+  in.flows = scenario.flows;
+  in.max_cycles = max_cycles;
+  in.scenario = scenario.name;
+  const analyze::Report report = analyze::analyze(in);
+
+  if (json_path == "-") {
+    std::fputs(report.json().c_str(), stdout);
+  } else {
+    report.print_human();
+    if (!json_path.empty()) {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::fputs(report.json().c_str(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+  }
+
+  if (fail_on_risk && report.verdict() == analyze::Verdict::kAtRisk) return 3;
+  return 0;
+}

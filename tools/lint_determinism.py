@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail if src/ contains a known source of nondeterminism.
+
+The simulator's contract is bit-identical output for a given seed at any
+--jobs count (tests/exp_test.cpp pins it; the gfc-analyze JSON is compared
+byte-for-byte in CI). Four classes of code break that contract quietly:
+
+  * wall-clock reads: time(...), std::chrono::system_clock
+  * the unseeded C PRNG: rand(), srand(time(...)) idioms
+  * hash-ordered containers iterated in output paths:
+    std::unordered_map / std::unordered_set (use std::map / std::set; the
+    hot paths here are find/insert-bound, where the rb-tree is fine)
+
+Run: tools/lint_determinism.py [root]   (default root: repo root)
+Exit status: 0 clean, 1 findings.
+"""
+
+import pathlib
+import re
+import sys
+
+# (regex, why it is banned). Word boundaries keep tx_time(, format_time(,
+# grand(... etc. out of the match set.
+RULES = [
+    (re.compile(r"(?<![\w:.])time\s*\("), "wall-clock time() read"),
+    (re.compile(r"system_clock"), "std::chrono::system_clock wall-clock read"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "unseeded C PRNG (use sim::Rng)"),
+    (re.compile(r"unordered_(map|set)"),
+     "hash-ordered container (use std::map / std::set)"),
+]
+
+SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        code = line.split("//", 1)[0]  # comments may name the banned APIs
+        for rule, why in RULES:
+            if rule.search(code):
+                findings.append(f"{path}:{lineno}: {why}\n    {line.strip()}")
+    return findings
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else pathlib.Path(__file__).resolve().parent.parent)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SUFFIXES:
+            findings.extend(lint_file(path))
+    if findings:
+        print("determinism lint: %d finding(s)" % len(findings))
+        for f in findings:
+            print(f)
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
