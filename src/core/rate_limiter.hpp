@@ -23,28 +23,40 @@ class RateLimiter {
   RateLimiter() = default;
   explicit RateLimiter(sim::Rate initial_rate) : rate_(initial_rate) {}
 
-  void set_rate(sim::Rate r) { rate_ = r; }
+  void set_rate(sim::Rate r) {
+    rate_ = r;
+    recompute();
+  }
   sim::Rate rate() const { return rate_; }
 
-  /// Earliest instant the next packet may start.
-  sim::TimePs next_allowed() const {
-    if (last_bytes_ == 0) return 0;
-    if (rate_.is_zero()) return sim::kTimeNever;
-    return last_start_ + sim::tx_time(rate_, last_bytes_);
-  }
+  /// Earliest instant the next packet may start. Cached: the spacing only
+  /// changes on transmit or rate update, while the gate re-evaluates it on
+  /// every poll — the poll path must not pay the tx_time division.
+  sim::TimePs next_allowed() const { return next_allowed_; }
 
-  bool allowed(sim::TimePs now) const { return now >= next_allowed(); }
+  bool allowed(sim::TimePs now) const { return now >= next_allowed_; }
 
   /// A packet of `bytes` started transmission at `now`.
   void on_transmit(sim::TimePs now, std::int64_t bytes) {
     last_start_ = now;
     last_bytes_ = bytes;
+    recompute();
   }
 
  private:
+  void recompute() {
+    if (last_bytes_ == 0)
+      next_allowed_ = 0;
+    else if (rate_.is_zero())
+      next_allowed_ = sim::kTimeNever;
+    else
+      next_allowed_ = last_start_ + sim::tx_time(rate_, last_bytes_);
+  }
+
   sim::Rate rate_{};
   sim::TimePs last_start_ = 0;
   std::int64_t last_bytes_ = 0;  // 0 until the first packet
+  sim::TimePs next_allowed_ = 0;
 };
 
 /// TxGate with one RateLimiter per priority; all GFC variants share it.

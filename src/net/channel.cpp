@@ -9,10 +9,33 @@ namespace gfc::net {
 Channel::Channel(Network& net, Node& dst, int dst_port, sim::TimePs prop_delay)
     : net_(net), dst_(dst), dst_port_(dst_port), prop_delay_(prop_delay) {}
 
+void Channel::flight_arrival() {
+  Packet* pkt = flight_.front();
+  flight_.pop_front();
+  // Arrival-time check: a link that went down mid-propagation loses the
+  // frame (both PHYs are gone; there is no store-and-forward on a wire).
+  if (!up_) {
+    ++net_.counters().wire_lost_packets;
+    net_.trace_event(trace::EventType::kWireLost, dst_.id(), dst_port_,
+                     pkt->priority, pkt->id, pkt->size_bytes);
+    net_.free_packet(pkt);
+    return;
+  }
+  dst_.receive(pkt, dst_port_);
+}
+
 void Channel::propagate(Packet* pkt, sim::TimePs delay) {
+  if (delay == prop_delay_) {
+    // Fixed-delay fast path: the packet rides the wire FIFO and the shared
+    // multishot timer. fire_at takes its sequence number right here, where
+    // schedule_in took it, so arrival order is byte-identical.
+    if (!flight_timer_.valid())
+      flight_timer_ = net_.sched().register_multishot([this] { flight_arrival(); });
+    flight_.push_back(pkt);
+    net_.sched().fire_at(flight_timer_, net_.sched().now() + delay);
+    return;
+  }
   net_.sched().schedule_in(delay, [this, pkt] {
-    // Arrival-time check: a link that went down mid-propagation loses the
-    // frame (both PHYs are gone; there is no store-and-forward on a wire).
     if (!up_) {
       ++net_.counters().wire_lost_packets;
       net_.trace_event(trace::EventType::kWireLost, dst_.id(), dst_port_,

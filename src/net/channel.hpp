@@ -9,7 +9,10 @@
 // edge-triggered protocols (PFC) lose XOFF/XON state.
 #pragma once
 
+#include <deque>
+
 #include "net/packet.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace gfc::net {
@@ -36,12 +39,19 @@ class Channel {
 
  private:
   void propagate(Packet* pkt, sim::TimePs delay);
+  void flight_arrival();
 
   Network& net_;
   Node& dst_;
   int dst_port_;
   sim::TimePs prop_delay_;
   bool up_ = true;
+  // Fixed-delay wire FIFO: arrivals fire in send order (constant delay,
+  // monotonic clock), so one multishot timer pops this queue head per
+  // firing instead of each packet carrying its own one-shot closure.
+  // Fault-delayed frames break FIFO and keep the one-shot path.
+  std::deque<Packet*> flight_;
+  sim::TimerId flight_timer_{};
 };
 
 }  // namespace gfc::net

@@ -17,7 +17,12 @@ inline std::uint64_t ecmp_hash(std::uint64_t salt, std::int32_t switch_id) {
 
 inline std::size_t ecmp_select(std::uint64_t salt, std::int32_t switch_id,
                                std::size_t n_choices) {
-  return static_cast<std::size_t>(ecmp_hash(salt, switch_id) % n_choices);
+  const std::uint64_t h = ecmp_hash(salt, switch_id);
+  // Fan-outs are powers of two in the regular topologies; mask instead of
+  // dividing there (identical residue for pow2 moduli).
+  if ((n_choices & (n_choices - 1)) == 0)
+    return static_cast<std::size_t>(h & (n_choices - 1));
+  return static_cast<std::size_t>(h % n_choices);
 }
 
 }  // namespace gfc::net

@@ -56,6 +56,7 @@ void HostNode::stage_next(std::size_t idx) {
   pkt->src = flow.src;
   pkt->dst = flow.dst;
   pkt->flow = flow.id;
+  pkt->path_salt = flow.path_salt;
   pkt->created_at = network().sched().now();
   flow.bytes_enqueued += len;
   sf.staged = true;

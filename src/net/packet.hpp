@@ -54,6 +54,9 @@ struct Packet {
   NodeId src = kInvalidNode;  // originating host (data / CNP)
   NodeId dst = kInvalidNode;  // destination host (data / CNP)
   FlowId flow = kInvalidFlow;
+  /// Copy of Flow::path_salt, stamped wherever `flow` is assigned, so the
+  /// per-hop ECMP choice reads it without dereferencing the flow table.
+  std::uint64_t path_salt = 0;
 
   /// Per-hop state: ingress port at the switch currently buffering the
   /// packet (charged back on departure) and the egress its route selected.

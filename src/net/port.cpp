@@ -1,5 +1,6 @@
 #include "net/port.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "net/channel.hpp"
@@ -30,8 +31,10 @@ std::size_t EgressPort::queued_packets() const {
 
 Packet* EgressPort::PrioQueue::next_up(std::size_t* bucket_out) {
   if (packets == 0) return nullptr;
-  for (std::size_t step = 0; step < buckets.size(); ++step) {
-    const std::size_t b = (rr + step) % buckets.size();
+  const std::size_t n = buckets.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t b = rr + step;
+    if (b >= n) b -= n;  // rr + step < 2*n
     if (!buckets[b].q.empty()) {
       *bucket_out = b;
       return buckets[b].q.front();
@@ -58,6 +61,7 @@ void EgressPort::enqueue(Packet* pkt) {
   bucket->q.push_back(pkt);
   pq.bytes += pkt->size_bytes;
   ++pq.packets;
+  nonempty_prios_ |= 1u << pkt->priority;
   owner_.network().trace_event(trace::EventType::kPortEnqueue, owner_.id(),
                                index_, pkt->priority, pkt->id, pq.bytes);
   try_transmit();
@@ -92,10 +96,23 @@ void EgressPort::cancel_wake() {
 void EgressPort::set_wake(sim::TimePs wake_at) {
   if (wake_event_.valid()) {
     if (wake_at == wake_at_) return;  // timer already armed for that instant
-    sched().cancel(wake_event_);
-    wake_event_ = {};
     owner_.network().trace_event(trace::EventType::kWakeCancel, owner_.id(),
                                  index_, -1, 0, wake_at_);
+    if (wake_at != sim::kTimeNever) {
+      // Retarget the armed timer in place: same callback, fresh FIFO
+      // sequence number — observably identical to cancel + schedule, minus
+      // the callback teardown/rebuild and slot free-list round trip.
+      const sim::EventId moved = sched().reschedule(wake_event_, wake_at);
+      if (moved.valid()) {
+        wake_event_ = moved;
+        wake_at_ = wake_at;
+        owner_.network().trace_event(trace::EventType::kWakeArm, owner_.id(),
+                                     index_, -1, 0, wake_at);
+        return;
+      }
+    }
+    sched().cancel(wake_event_);
+    wake_event_ = {};
   }
   wake_at_ = wake_at;
   if (wake_at == sim::kTimeNever) return;
@@ -140,7 +157,14 @@ void EgressPort::try_transmit() {
 
   // Queue mode (hosts): round-robin over priorities (no head-of-line
   // blocking across classes), then over source buckets within the priority.
-  for (int step = 0; step < kNumPriorities; ++step) {
+  // Rotate the nonempty mask so bit k stands for priority (rr_prio_ + k);
+  // walking its set bits visits exactly the prios the full scan would.
+  std::uint32_t rot = ((nonempty_prios_ >> rr_prio_) |
+                       (nonempty_prios_ << (kNumPriorities - rr_prio_))) &
+                      ((1u << kNumPriorities) - 1);
+  while (rot != 0) {
+    const int step = std::countr_zero(rot);
+    rot &= rot - 1;
     const int prio = (rr_prio_ + step) % kNumPriorities;
     auto& pq = data_[static_cast<std::size_t>(prio)];
     std::size_t bucket = 0;
@@ -150,7 +174,8 @@ void EgressPort::try_transmit() {
       pq.buckets[bucket].q.pop_front();
       pq.bytes -= pkt->size_bytes;
       --pq.packets;
-      pq.rr = (bucket + 1) % pq.buckets.size();
+      if (pq.packets == 0) nonempty_prios_ &= ~(1u << prio);
+      pq.rr = bucket + 1 == pq.buckets.size() ? 0 : bucket + 1;
       rr_prio_ = (prio + 1) % kNumPriorities;
       cancel_wake();
       start_tx(pkt, /*control=*/false);
@@ -194,8 +219,15 @@ void EgressPort::start_tx(Packet* pkt, bool control) {
                                  pkt->size_bytes);
     gate_->on_transmit(*pkt, sched().now());
   }
+  // Batched wire events: a saturated port's N back-to-back transmissions
+  // arm this one registered drain timer N times (often from inside its own
+  // firing, via complete_tx -> try_transmit) instead of constructing and
+  // destroying N one-shot events. Arming takes a fresh FIFO sequence
+  // number exactly where schedule_in did, so event order is unchanged.
+  if (!tx_done_timer_.valid())
+    tx_done_timer_ = sched().register_timer([this] { complete_tx(); });
   const sim::TimePs t = sim::tx_time(rate_, pkt->size_bytes);
-  sched().schedule_in(t, [this] { complete_tx(); });
+  sched().arm_timer(tx_done_timer_, sched().now() + t);
 }
 
 void EgressPort::complete_tx() {

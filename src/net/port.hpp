@@ -145,6 +145,9 @@ class EgressPort {
   std::deque<Packet*> control_q_;
   std::array<PrioQueue, kNumPriorities> data_;
   int rr_prio_ = 0;  // round-robin pointer over priorities
+  // Bit p set iff data_[p] holds packets; the transmit scan walks set bits
+  // only (in the same rr order) instead of touching all eight PrioQueues.
+  std::uint32_t nonempty_prios_ = 0;
 
   std::unique_ptr<TxGate> gate_;
   bool link_up_ = true;
@@ -152,6 +155,7 @@ class EgressPort {
   bool in_flight_control_ = false;
   sim::EventId wake_event_{};
   sim::TimePs wake_at_ = sim::kTimeNever;  // instant wake_event_ fires at
+  sim::TimerId tx_done_timer_{};           // registered complete_tx drain timer
 
   std::uint64_t tx_data_bytes_ = 0;
   std::uint64_t tx_control_bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "net/ecmp.hpp"
@@ -27,23 +28,29 @@ void SwitchNode::ensure_tables() {
 
 void SwitchNode::set_route(NodeId dst, std::vector<std::int32_t> out_ports) {
   const auto idx = static_cast<std::size_t>(dst);
-  if (routes_.size() <= idx) routes_.resize(idx + 1);
-  routes_[idx] = std::move(out_ports);
+  if (route_ref_.size() <= idx) route_ref_.resize(idx + 1);
+  route_ref_[idx] = RouteRef{static_cast<std::uint32_t>(route_slots_.size()),
+                             static_cast<std::uint32_t>(out_ports.size())};
+  route_slots_.insert(route_slots_.end(), out_ports.begin(), out_ports.end());
 }
 
-void SwitchNode::clear_routes() { routes_.clear(); }
+void SwitchNode::clear_routes() {
+  route_ref_.clear();
+  route_slots_.clear();
+}
 
 int SwitchNode::route_for(const Packet& pkt) const {
   const auto idx = static_cast<std::size_t>(pkt.dst);
-  if (idx >= routes_.size() || routes_[idx].empty()) return -1;
-  const auto& candidates = routes_[idx];
-  if (candidates.size() == 1) return candidates[0];
+  if (idx >= route_ref_.size()) return -1;
+  const RouteRef ref = route_ref_[idx];
+  if (ref.n == 0) return -1;
+  const std::int32_t* candidates = route_slots_.data() + ref.off;
+  if (ref.n == 1) return candidates[0];
   // Deterministic ECMP: hash the flow's path salt with this switch's id so
   // consecutive hops don't make correlated choices. Flowless packets
   // (should not occur for routed traffic) fall back to their packet id.
-  const std::uint64_t salt = pkt.flow >= 0 ? network().flow(pkt.flow).path_salt
-                                           : pkt.id;
-  return candidates[ecmp_select(salt, id(), candidates.size())];
+  const std::uint64_t salt = pkt.flow >= 0 ? pkt.path_salt : pkt.id;
+  return candidates[ecmp_select(salt, id(), ref.n)];
 }
 
 std::int64_t SwitchNode::ingress_bytes_total(int port) const {
@@ -163,7 +170,8 @@ void SwitchNode::dispatch(int seed_egress) {
       while (progress) {
         progress = false;
         for (int step = 0; step < ports; ++step) {
-          const int in = (cursor + step) % ports;
+          int in = cursor + step;
+          if (in >= ports) in -= ports;  // cursor + step < 2*ports
           auto& q =
               inq_[static_cast<std::size_t>(in)][static_cast<std::size_t>(prio)];
           if (q.empty() || q.front()->out_port != e) continue;
@@ -175,7 +183,7 @@ void SwitchNode::dispatch(int seed_egress) {
           oq.push_back(head);
           ob += head->size_bytes;
           kicked |= 1ull << static_cast<unsigned>(e);
-          cursor = (in + 1) % ports;
+          cursor = in + 1 == ports ? 0 : in + 1;
           progress = true;
           // The freed input FIFO may now offer a head to another egress.
           if (!q.empty() && q.front()->out_port != e)
@@ -187,12 +195,22 @@ void SwitchNode::dispatch(int seed_egress) {
   }
   if (kicked != 0) {
     // Wake receiving egresses after the current call stack (this may run
-    // inside one of their transmit paths) unwinds.
-    network().sched().schedule_in(0, [this, kicked] {
-      for (int e = 0; e < port_count(); ++e)
-        if (kicked & (1ull << static_cast<unsigned>(e))) port(e).kick();
-    });
+    // inside one of their transmit paths) unwinds. Each dispatch queues its
+    // own mask and arms the shared drain timer at `now`: firings execute in
+    // arming (sequence) order and the masks pop FIFO, so each firing sees
+    // exactly the mask the per-firing closure used to capture.
+    if (!kick_timer_.valid())
+      kick_timer_ = network().sched().register_multishot([this] { fire_kicks(); });
+    kick_masks_.push_back(kicked);
+    network().sched().fire_at(kick_timer_, network().sched().now());
   }
+}
+
+void SwitchNode::fire_kicks() {
+  const std::uint64_t kicked = kick_masks_.front();
+  kick_masks_.pop_front();
+  for (int e = 0; e < port_count(); ++e)
+    if (kicked & (1ull << static_cast<unsigned>(e))) port(e).kick();
 }
 
 Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
@@ -203,9 +221,15 @@ Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
   TxGate& gate = port(egress_port).gate();
 
   if (arch_ != SwitchArch::kInputQueued) {
-    for (int pstep = 0; pstep < kNumPriorities; ++pstep) {
+    // Walk active_prios_ set bits in rr order (bit k of the rotated mask is
+    // priority rr.prio + k) — same visit order as the full 8-step scan.
+    std::uint32_t prot = ((active_prios_ >> rr.prio) |
+                          (active_prios_ << (kNumPriorities - rr.prio))) &
+                         ((1u << kNumPriorities) - 1);
+    while (prot != 0) {
+      const int pstep = std::countr_zero(prot);
+      prot &= prot - 1;
       const int prio = (rr.prio + pstep) % kNumPriorities;
-      if ((active_prios_ & (1u << prio)) == 0) continue;
       auto& q = outq_[static_cast<std::size_t>(egress_port)]
                      [static_cast<std::size_t>(prio)];
       if (q.empty()) continue;
@@ -230,7 +254,8 @@ Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
     const int prio = (rr.prio + pstep) % kNumPriorities;
     if ((active_prios_ & (1u << prio)) == 0) continue;
     for (int istep = 0; istep < ports; ++istep) {
-      const int in = (rr.in + istep) % ports;
+      int in = rr.in + istep;
+      if (in >= ports) in -= ports;  // rr.in + istep < 2*ports
       auto& q = inq_[static_cast<std::size_t>(in)][static_cast<std::size_t>(prio)];
       if (q.empty()) continue;
       Packet* head = q.front();
@@ -239,7 +264,7 @@ Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
       if (!gate.allowed(*head, now, wake_at)) continue;  // HOL: FIFO waits
       if (!consume) return head;
       q.pop_front();
-      rr.in = (in + 1) % ports;
+      rr.in = in + 1 == ports ? 0 : in + 1;
       rr.prio = (prio + 1) % kNumPriorities;
       if (!q.empty() && q.front()->out_port != egress_port) {
         // The new head targets a different egress; wake it once the current

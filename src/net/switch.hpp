@@ -132,13 +132,28 @@ class SwitchNode final : public Node {
   /// Wakes egresses that received work (deferred to avoid re-entering the
   /// transmit path this may be called from).
   void dispatch(int seed_egress);
+  /// Drain one queued kick mask (one dispatch's deferred egress wake-ups).
+  void fire_kicks();
 
   std::uint32_t active_prios_ = 0;  // bitmask: priorities ever seen
+  // Deferred-kick masks, FIFO, drained by the shared multishot kick timer —
+  // one firing per queued mask, in the order the dispatches armed it.
+  std::deque<std::uint64_t> kick_masks_;
+  sim::TimerId kick_timer_{};
   SwitchArch arch_ = SwitchArch::kOutputQueuedFifo;
   std::int64_t egress_cap_ = 3000;  // 2 MTU
   /// Per-egress RR cursor over ingress ports (dispatch arbitration).
   std::vector<int> arb_rr_;
-  std::vector<std::vector<std::int32_t>> routes_;  // indexed by dst NodeId
+  // Route table, flattened: per-dst (offset, count) into one contiguous
+  // candidate array — route_for reads two adjacent allocations instead of
+  // chasing a heap vector per destination. Re-routing a dst appends fresh
+  // slots (the orphaned old ones are build-time-bounded garbage).
+  struct RouteRef {
+    std::uint32_t off = 0;
+    std::uint32_t n = 0;
+  };
+  std::vector<RouteRef> route_ref_;          // indexed by dst NodeId
+  std::vector<std::int32_t> route_slots_;    // all candidate out-ports
   std::uint64_t forwarded_packets_ = 0;
 };
 

@@ -1,14 +1,117 @@
 #include "sim/scheduler.hpp"
 
-namespace gfc::sim {
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
 
-Scheduler::~Scheduler() {
-  // Destroy the callbacks of still-pending events (cancelled entries fail
-  // the generation check and were already destroyed at cancel time).
-  for (const HeapEntry& e : heap_) {
-    Slot& s = *slot_ptr(e.slot);
-    if (s.gen == e.gen && s.destroy != nullptr) s.destroy(s.storage);
+namespace gfc::sim {
+namespace {
+
+// 4-ary min-heap helpers for the overflow heap. Hole-based sifts: copy
+// entries toward the hole, write the moved entry once.
+template <typename E>
+bool heap_earlier(const E& a, const E& b) {
+  return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+}
+
+template <typename E>
+void heap_push(std::vector<E>& h, E e) {
+  h.push_back(e);
+  std::size_t i = h.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!heap_earlier(e, h[parent])) break;
+    h[i] = h[parent];
+    i = parent;
   }
+  h[i] = e;
+}
+
+/// Pop the heap minimum. Precondition: heap non-empty.
+template <typename E>
+E heap_pop(std::vector<E>& h) {
+  const E top = h.front();
+  const E last = h.back();
+  h.pop_back();
+  const std::size_t n = h.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t min_child = first_child;
+      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (heap_earlier(h[c], h[min_child])) min_child = c;
+      if (!heap_earlier(h[min_child], last)) break;
+      h[i] = h[min_child];
+      i = min_child;
+    }
+    h[i] = last;
+  }
+  return top;
+}
+
+}  // namespace
+
+Scheduler::Scheduler() {
+  for (auto& level : wheel_)
+    for (auto& head : level) head = kNoNode;
+}
+
+Scheduler::~Scheduler() { destroy_pending_callbacks(); }
+
+void Scheduler::destroy_pending_callbacks() {
+  // Destroy the callbacks of still-pending events wherever their queue
+  // entry lives (cancelled entries fail the generation check and were
+  // already destroyed at cancel time).
+  const auto destroy_ref = [this](std::uint32_t slot, std::uint32_t gen) {
+    Slot& s = *slot_ptr(slot);
+    if (!s.persistent && s.gen == gen && s.destroy != nullptr)
+      s.destroy(s.storage);
+  };
+  for (std::size_t i = near_idx_; i < near_.size(); ++i)
+    destroy_ref(near_[i].slot, near_[i].gen);
+  for (const HeapEntry& e : overflow_) destroy_ref(e.slot, e.gen);
+  for (const auto& level : wheel_)
+    for (std::uint32_t head : level)
+      for (std::uint32_t n = head; n != kNoNode; n = nodes_[n].next)
+        destroy_ref(nodes_[n].slot, nodes_[n].gen);
+  // Persistent-timer callbacks live outside any queue entry.
+  for (std::uint32_t i = 0; i < slots_used_; ++i) {
+    Slot& s = *slot_ptr(i);
+    if (s.persistent && s.destroy != nullptr) s.destroy(s.storage);
+  }
+}
+
+void Scheduler::clear() {
+  destroy_pending_callbacks();
+  near_.clear();
+  near_idx_ = 0;
+  overflow_.clear();
+  for (auto& level : wheel_)
+    for (auto& head : level) head = kNoNode;
+  for (auto& word : occ_) word = 0;
+  nodes_.clear();  // keeps capacity
+  node_free_ = kNoNode;
+  cur_tick_ = 0;
+  // Reset generations over the slot high-water mark so the cleared
+  // scheduler re-issues the same EventIds a fresh one would.
+  for (std::uint32_t i = 0; i < slots_used_; ++i) {
+    Slot& s = *slot_ptr(i);
+    s.gen = 1;
+    s.persistent = false;
+    s.armed = false;
+    s.multishot = false;
+  }
+  slots_used_ = 0;
+  free_head_ = kNoFreeSlot;
+  next_seq_ = 0;
+  now_ = 0;
+  live_ = 0;
+  executed_ = 0;
+  stop_requested_ = false;
 }
 
 std::uint32_t Scheduler::alloc_slot() {
@@ -28,52 +131,219 @@ void Scheduler::release_slot(std::uint32_t idx, Slot& s) {
   free_head_ = idx;
 }
 
-void Scheduler::push_entry(HeapEntry e) {
-  // Hole-based sift-up: copy parents down, write `e` once.
-  heap_.push_back(e);
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) >> 2;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
+void Scheduler::wheel_link(int level, std::uint32_t wslot, TimePs t,
+                           std::uint64_t seq, std::uint32_t slot,
+                           std::uint32_t gen) {
+  std::uint32_t n;
+  if (node_free_ != kNoNode) {
+    n = node_free_;
+    node_free_ = nodes_[n].next;
+  } else {
+    n = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(WheelNode{});
   }
-  heap_[i] = e;
+  WheelNode& node = nodes_[n];
+  node.t = t;
+  node.seq = seq;
+  node.slot = slot;
+  node.gen = gen;
+  node.next = wheel_[level][wslot];
+  wheel_[level][wslot] = n;
+  occ_[level] |= std::uint64_t{1} << wslot;
 }
 
-Scheduler::HeapEntry Scheduler::pop_top() {
-  const HeapEntry top = heap_.front();
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  if (n != 0) {
-    // Hole-based sift-down of `last` from the root of the 4-ary heap.
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first_child = (i << 2) + 1;
-      if (first_child >= n) break;
-      std::size_t min_child = first_child;
-      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
-      for (std::size_t c = first_child + 1; c < end; ++c)
-        if (earlier(heap_[c], heap_[min_child])) min_child = c;
-      if (!earlier(heap_[min_child], last)) break;
-      heap_[i] = heap_[min_child];
-      i = min_child;
-    }
-    heap_[i] = last;
+void Scheduler::insert_entry(TimePs t, std::uint64_t seq, std::uint32_t slot,
+                             std::uint32_t gen) {
+  const Tick tick = tick_of(t);
+  const std::int64_t delta = tick - cur_tick_;
+  if (delta <= 0) {
+    // At or behind the cursor: splice into the sorted unconsumed tail of
+    // the near batch. Only execution-time inserts (events landing in the
+    // tick being drained) take this path — advance_once() appends its
+    // dumps directly and sorts once.
+    const HeapEntry e{t, seq, slot, gen};
+    const auto pos = std::upper_bound(
+        near_.begin() + static_cast<std::ptrdiff_t>(near_idx_), near_.end(), e,
+        heap_earlier<HeapEntry>);
+    near_.insert(pos, e);
+    return;
   }
-  return top;
+  if (delta >= kHorizonTicks) {
+    heap_push(overflow_, HeapEntry{t, seq, slot, gen});
+    return;
+  }
+  // Level L holds deltas in [64^L, 64^(L+1)): the highest 6-bit group in
+  // which the delta is non-zero.
+  const int level =
+      (std::bit_width(static_cast<std::uint64_t>(delta)) - 1) / kLevelBits;
+  const std::uint32_t wslot =
+      static_cast<std::uint32_t>(tick >> (kLevelBits * level)) & kSlotMask;
+  wheel_link(level, wslot, t, seq, slot, gen);
+}
+
+bool Scheduler::advance_once(Tick limit) {
+  // Fast path for the sparse short-horizon workload (most ticks hold a
+  // handful of events): with nothing in overflow, an occupied level-0 slot
+  // inside the cursor's current frame — no wrap past the next 64-tick
+  // boundary — is always the earliest work anywhere in the wheel, because
+  // higher-level slots can only cascade at a later frame boundary. Skip
+  // the full per-level candidate scan and the cascade checks.
+  if (overflow_.empty() && occ_[0] != 0) {
+    const std::uint32_t pos = static_cast<std::uint32_t>(cur_tick_) & kSlotMask;
+    const std::uint64_t rotated = std::rotr(occ_[0], (pos + 1) & 63);
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(std::countr_zero(rotated)) + 1;
+    if (pos + d < kSlotsPerLevel) {
+      const Tick target = cur_tick_ + d;
+      if (target > limit) return false;
+      cur_tick_ = target;
+      const std::uint32_t wslot = pos + d;  // target & kSlotMask, no wrap
+      std::uint32_t n = wheel_[0][wslot];
+      wheel_[0][wslot] = kNoNode;
+      occ_[0] &= ~(std::uint64_t{1} << wslot);
+      const std::size_t fast_base = near_.size();
+      while (n != kNoNode) {
+        const WheelNode node = nodes_[n];
+        nodes_[n].next = node_free_;
+        node_free_ = n;
+        if (slot_ptr(node.slot)->gen == node.gen)
+          near_.push_back(HeapEntry{node.t, node.seq, node.slot, node.gen});
+        n = node.next;
+      }
+      if (near_.size() - fast_base > 1)
+        std::sort(near_.begin() + static_cast<std::ptrdiff_t>(fast_base),
+                  near_.end(), heap_earlier<HeapEntry>);
+      return true;
+    }
+  }
+
+  // Per level, the nearest occupied slot ahead of the cursor. All wheel
+  // frames start strictly after cur_tick_, so rotating the occupancy word
+  // right by pos+1 makes countr_zero() yield distance-1, distances 1..64
+  // (a slot equal to the cursor position means a full level cycle ahead).
+  Tick cand_start[kLevels];
+  std::uint32_t cand_slot[kLevels];
+  Tick best = -1;
+  for (int l = 0; l < kLevels; ++l) {
+    cand_start[l] = -1;
+    if (occ_[l] == 0) continue;
+    const int shift = kLevelBits * l;
+    const std::uint32_t pos =
+        static_cast<std::uint32_t>(cur_tick_ >> shift) & kSlotMask;
+    const std::uint64_t rotated = std::rotr(occ_[l], (pos + 1) & 63);
+    const int d = std::countr_zero(rotated) + 1;  // 1..64
+    cand_start[l] = ((cur_tick_ >> shift) + d) << shift;
+    cand_slot[l] = (pos + static_cast<std::uint32_t>(d)) & kSlotMask;
+    if (best < 0 || cand_start[l] < best) best = cand_start[l];
+  }
+
+  // Overflow candidate: the heap minimum (discard stale tops on the way —
+  // their callbacks were destroyed at cancel time).
+  while (!overflow_.empty() &&
+         slot_ptr(overflow_.front().slot)->gen != overflow_.front().gen)
+    heap_pop(overflow_);
+  const Tick otick =
+      overflow_.empty() ? Tick{-1} : tick_of(overflow_.front().t);
+
+  Tick target = best;
+  if (otick >= 0 && (target < 0 || otick < target)) target = otick;
+  if (target < 0 || target > limit) return false;
+  cur_tick_ = target;
+
+  // Cascade every higher-level slot whose frame starts here, highest
+  // level first, so entries land in their final lower-level homes (or the
+  // near batch for the target tick itself). Stale nodes are dropped and
+  // recycled on the way. Target-tick entries are appended raw and sorted
+  // once at the end — one sort per drained tick instead of a heap push and
+  // a heap pop per event.
+  const std::size_t base = near_.size();
+  for (int l = kLevels - 1; l >= 1; --l) {
+    if (cand_start[l] != target) continue;
+    std::uint32_t n = wheel_[l][cand_slot[l]];
+    wheel_[l][cand_slot[l]] = kNoNode;
+    occ_[l] &= ~(std::uint64_t{1} << cand_slot[l]);
+    while (n != kNoNode) {
+      const WheelNode node = nodes_[n];
+      nodes_[n].next = node_free_;
+      node_free_ = n;
+      if (slot_ptr(node.slot)->gen == node.gen) {
+        if (tick_of(node.t) == target)
+          near_.push_back(HeapEntry{node.t, node.seq, node.slot, node.gen});
+        else
+          insert_entry(node.t, node.seq, node.slot, node.gen);
+      }
+      n = node.next;
+    }
+  }
+  if (cand_start[0] == target) {
+    std::uint32_t n = wheel_[0][cand_slot[0]];
+    wheel_[0][cand_slot[0]] = kNoNode;
+    occ_[0] &= ~(std::uint64_t{1} << cand_slot[0]);
+    while (n != kNoNode) {
+      const WheelNode node = nodes_[n];
+      nodes_[n].next = node_free_;
+      node_free_ = n;
+      if (slot_ptr(node.slot)->gen == node.gen)
+        near_.push_back(HeapEntry{node.t, node.seq, node.slot, node.gen});
+      n = node.next;
+    }
+  }
+  while (!overflow_.empty()) {
+    const HeapEntry top = overflow_.front();
+    if (slot_ptr(top.slot)->gen != top.gen) {
+      heap_pop(overflow_);
+      continue;
+    }
+    if (tick_of(top.t) != target) break;
+    heap_pop(overflow_);
+    near_.push_back(top);
+  }
+  if (near_.size() - base > 1)
+    std::sort(near_.begin() + static_cast<std::ptrdiff_t>(base), near_.end(),
+              heap_earlier<HeapEntry>);
+  return true;
+}
+
+bool Scheduler::refill_near() {
+  near_.clear();  // everything before near_idx_ was consumed; keep capacity
+  near_idx_ = 0;
+  while (near_.empty())
+    if (!advance_once(std::numeric_limits<Tick>::max())) return false;
+  return true;
+}
+
+bool Scheduler::peek_live(HeapEntry* out) {
+  for (;;) {
+    if (near_idx_ >= near_.size() && !refill_near()) return false;
+    const HeapEntry& top = near_[near_idx_];
+    if (slot_ptr(top.slot)->gen == top.gen) {
+      *out = top;
+      return true;
+    }
+    ++near_idx_;  // cancelled; skip lazily
+  }
 }
 
 void Scheduler::execute(const HeapEntry& e) {
   Slot& s = *slot_ptr(e.slot);
   ++executed_;
   --live_;
+  if (s.multishot) {
+    // Other firings of this slot may still be queued; the generation must
+    // keep matching them.
+    s.run(s.storage);
+    return;
+  }
   // Invalidate the id before invoking, so cancel() of the running event
   // from inside its own callback is a clean "no longer pending" no-op —
   // but keep the slot off the free list until the callback (which may
   // schedule new events into other slots) has finished and been destroyed.
   if (++s.gen == 0) s.gen = 1;
+  if (s.persistent) {
+    s.armed = false;  // before run: the callback may re-arm its own timer
+    s.run(s.storage);
+    return;  // slot and callback stay registered
+  }
   s.run(s.storage);
   s.next_free = free_head_;
   free_head_ = e.slot;
@@ -86,53 +356,103 @@ bool Scheduler::cancel(EventId id) {
   const std::uint32_t idx = low - 1;
   Slot& s = *slot_ptr(idx);
   if (s.gen != static_cast<std::uint32_t>(id.value >> 32)) return false;
-  // Still pending: destroy the callback and retire the slot now. The heap
-  // entry stays behind; its stale generation tag gets it skipped on pop.
+  // Still pending: destroy the callback and retire the slot now. The queue
+  // entry stays behind; its stale generation tag gets it skipped when its
+  // wheel slot or heap position is next visited.
   if (s.destroy != nullptr) s.destroy(s.storage);
   release_slot(idx, s);
   --live_;
   return true;
 }
 
-bool Scheduler::step() {
-  while (!heap_.empty()) {
-    const HeapEntry e = pop_top();
-    if (slot_ptr(e.slot)->gen != e.gen) continue;  // cancelled
-    now_ = e.t;
-    execute(e);
-    return true;
+EventId Scheduler::reschedule(EventId id, TimePs t) {
+  if (!id.valid()) return EventId{};
+  const std::uint32_t low = static_cast<std::uint32_t>(id.value);
+  if (low == 0 || low > slots_used_) return EventId{};
+  const std::uint32_t idx = low - 1;
+  Slot& s = *slot_ptr(idx);
+  if (s.gen != static_cast<std::uint32_t>(id.value >> 32)) return EventId{};
+  if (t < now_) t = now_;  // same clamp as schedule_at
+  // Bump the generation: the old id and the old queue entry both go stale,
+  // while the callback stays constructed in place.
+  if (++s.gen == 0) s.gen = 1;
+  insert_entry(t, next_seq_++, idx, s.gen);
+  return EventId{(static_cast<std::uint64_t>(s.gen) << 32) |
+                 (static_cast<std::uint64_t>(idx) + 1)};
+}
+
+void Scheduler::fire_at(TimerId timer, TimePs t) {
+  if (!timer.valid()) return;
+  Slot& s = *slot_ptr(timer.value - 1);
+  if (t < now_) t = now_;  // same clamp as schedule_at
+  insert_entry(t, next_seq_++, timer.value - 1, s.gen);
+  ++live_;
+}
+
+void Scheduler::arm_timer(TimerId timer, TimePs t) {
+  if (!timer.valid()) return;
+  Slot& s = *slot_ptr(timer.value - 1);
+  if (t < now_) t = now_;  // same clamp as schedule_at
+  if (s.armed) {
+    // Move the pending firing: stale out the old queue entry.
+    if (++s.gen == 0) s.gen = 1;
+  } else {
+    s.armed = true;
+    ++live_;
   }
-  return false;
+  insert_entry(t, next_seq_++, timer.value - 1, s.gen);
+}
+
+void Scheduler::disarm_timer(TimerId timer) {
+  if (!timer.valid()) return;
+  Slot& s = *slot_ptr(timer.value - 1);
+  if (!s.armed) return;
+  if (++s.gen == 0) s.gen = 1;
+  s.armed = false;
+  --live_;
+}
+
+bool Scheduler::step() {
+  HeapEntry e;
+  if (!peek_live(&e)) return false;
+  ++near_idx_;
+  now_ = e.t;
+  execute(e);
+  return true;
 }
 
 void Scheduler::run_until(TimePs t_end) {
   stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    const TimePs t = heap_.front().t;
-    if (t > t_end) break;
-    // Drain the whole same-timestamp batch without re-checking the
-    // horizon: anything scheduled at `t` during the batch (necessarily
-    // with a higher sequence number) joins the same drain.
-    do {
-      const HeapEntry e = pop_top();
-      if (slot_ptr(e.slot)->gen != e.gen) continue;  // cancelled
-      now_ = t;
-      execute(e);
-    } while (!stop_requested_ && !heap_.empty() && heap_.front().t == t);
+  HeapEntry e;
+  while (!stop_requested_ && peek_live(&e)) {
+    if (e.t > t_end) break;
+    ++near_idx_;
+    now_ = e.t;
+    execute(e);
   }
-  if (now_ < t_end && !stop_requested_) now_ = t_end;
+  if (now_ < t_end && !stop_requested_) {
+    now_ = t_end;
+    // Keep the wheel cursor in step with the clock after an idle jump so
+    // short-horizon scheduling stays O(1). Pure performance: correctness
+    // never depends on the cursor tracking now() (the near heap orders
+    // whatever the sweep dumps; live entries swept here are the
+    // same-tick-as-t_end ones with t > t_end).
+    const Tick t_tick = tick_of(now_);
+    if (t_tick > cur_tick_) {
+      while (advance_once(t_tick)) {
+      }
+      cur_tick_ = t_tick;
+    }
+  }
 }
 
 void Scheduler::run_all() {
   stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    const TimePs t = heap_.front().t;
-    do {
-      const HeapEntry e = pop_top();
-      if (slot_ptr(e.slot)->gen != e.gen) continue;
-      now_ = t;
-      execute(e);
-    } while (!stop_requested_ && !heap_.empty() && heap_.front().t == t);
+  HeapEntry e;
+  while (!stop_requested_ && peek_live(&e)) {
+    ++near_idx_;
+    now_ = e.t;
+    execute(e);
   }
 }
 

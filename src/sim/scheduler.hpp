@@ -5,16 +5,30 @@
 //    inline small-callback storage (no per-event std::function heap
 //    allocation; oversized callables fall back to one heap thunk). Slots
 //    are recycled through a free list, PacketPool-style.
-//  - The ready queue is a 4-ary min-heap of 24-byte POD entries
-//    (time, FIFO sequence, slot, generation); sifts are plain copies.
-//  - cancel() and the pop-side liveness check compare the entry's
-//    generation tag against the slot's — O(1), no hashing. A cancelled
-//    event's heap entry stays behind and is skipped when popped.
-//  - run_until()/run_all() drain same-timestamp batches without
-//    re-checking the horizon per event.
+//  - The ready queue is a hierarchical timing wheel: 4 levels of 64 slots
+//    over a 131 ns tick (2^17 ps), one occupancy bitmap word per level, an
+//    overflow 4-ary min-heap for events beyond the ~2.2 s wheel horizon,
+//    and a "near" batch of 24-byte POD entries holding the events of the
+//    tick being drained — appended raw at dump time, sorted once by
+//    (time, seq), consumed by index. schedule and cancel are O(1); a pop is
+//    an index increment (one sort per drained tick replaces a heap push
+//    plus a heap pop per event; the old global heap paid O(log pending)).
+//    Events landing in the tick currently being drained splice into the
+//    sorted unconsumed tail (binary search + vector insert).
+//  - Exact ordering is preserved: wheel slots only partition events by
+//    tick; every entry carries the global FIFO sequence number, and events
+//    reach execution exclusively through the near batch, which orders by
+//    (time, seq). Same-timestamp events therefore fire in schedule order —
+//    the determinism discipline every golden output depends on.
+//  - cancel(), reschedule() and the pop-side liveness check compare the
+//    entry's generation tag against the slot's — O(1), no hashing. A
+//    cancelled event's wheel/heap entry stays behind and is discarded when
+//    its slot position is next visited.
 //
 // Observable semantics are pinned by tests/sim_test.cpp (SchedulerPinned),
-// tests/sim_property_test.cpp (random scripts vs a reference model) and
+// tests/sim_property_test.cpp (random scripts vs a reference model),
+// tests/scheduler_differential_test.cpp + tests/scheduler_fuzz.cpp (lock-
+// step against the PR-1 heap engine kept under tests/) and
 // tests/determinism_test.cpp: events at the same timestamp fire in schedule
 // order, which keeps runs deterministic.
 #pragma once
@@ -39,9 +53,16 @@ struct EventId {
   friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
 };
 
+/// Handle to a persistent timer (Scheduler::register_timer). Encodes slot
+/// index + 1; value 0 is the invalid handle.
+struct TimerId {
+  std::uint32_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -83,7 +104,7 @@ class Scheduler {
       };
       s.destroy = [](void* p) { delete *static_cast<Fn**>(p); };
     }
-    push_entry(HeapEntry{t, next_seq_++, idx, s.gen});
+    insert_entry(t, next_seq_++, idx, s.gen);
     ++live_;
     return EventId{(static_cast<std::uint64_t>(s.gen) << 32) |
                    (static_cast<std::uint64_t>(idx) + 1)};
@@ -98,6 +119,92 @@ class Scheduler {
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
   /// or invalid id is a no-op; returns whether the event was still pending.
   bool cancel(EventId id);
+
+  /// Move a pending event to absolute time `t` (clamped to now()), keeping
+  /// its callback — the wake-timer churn path (cancel + schedule of the
+  /// same closure) without destroying and re-constructing the callback or
+  /// cycling the slot through the free list. Takes a fresh FIFO sequence
+  /// number, exactly as a cancel+schedule at this point would, so
+  /// same-timestamp ordering is indistinguishable from the two-call form.
+  /// Returns the new id (the old id is invalidated); returns the invalid
+  /// id if the event already fired or was cancelled (nothing is scheduled
+  /// then — callers fall back to schedule_at).
+  EventId reschedule(EventId id, TimePs t);
+
+  /// Reset to the just-constructed state, retaining every allocated
+  /// capacity (callback slots, wheel nodes, heap storage). Pending events
+  /// are destroyed without being fired, in O(pending) — not O(pending ·
+  /// log pending) heap draining. Outstanding EventIds and TimerIds are
+  /// invalidated (timer callbacks are destroyed too), and a cleared
+  /// scheduler re-issues exactly the EventId sequence a freshly
+  /// constructed one would (slot indices and generations restart), which
+  /// keeps campaign runs that reuse one scheduler byte-identical to
+  /// fresh-scheduler runs.
+  void clear();
+
+  // --- persistent timers (batched wire events) ----------------------------
+  // A timer is a pre-registered event slot whose callback is constructed
+  // once and fired many times: arming allocates nothing and constructs
+  // nothing, so N back-to-back transmissions on a saturated port arm one
+  // drain timer N times instead of building and tearing down N one-shot
+  // events. Arming takes a fresh FIFO sequence number at the call site,
+  // exactly like schedule_at, so event ordering — and every golden output —
+  // is indistinguishable from the one-shot form.
+
+  /// Register `fn` as a reusable timer. The callback is kept alive until
+  /// clear() or destruction. Returns a handle for arm/disarm; never 0.
+  template <typename F>
+  TimerId register_timer(F&& fn) {
+    using Fn = std::decay_t<F>;
+    const std::uint32_t idx = alloc_slot();
+    Slot& s = *slot_ptr(idx);
+    static_assert(sizeof(Fn) <= kInlineStorage &&
+                      alignof(Fn) <= alignof(std::max_align_t),
+                  "timer callbacks must fit the inline slot storage");
+    ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+    // Invoke WITHOUT destroying: the callback survives the firing (and may
+    // re-arm its own timer from inside it).
+    s.run = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (std::is_trivially_destructible_v<Fn>)
+      s.destroy = nullptr;
+    else
+      s.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    s.persistent = true;
+    s.armed = false;
+    return TimerId{idx + 1};
+  }
+
+  /// Register `fn` as a multishot timer: any number of firings may be
+  /// pending at once (fire_at queues one more; there is no per-firing
+  /// cancel). The per-firing payload lives with the caller — wire FIFOs
+  /// keep their own packet queue and pop one head per firing, so a
+  /// saturated link's N in-flight packets share one registered callback
+  /// instead of constructing and destroying N one-shot closures. Each
+  /// fire_at takes a fresh FIFO sequence number exactly where schedule_at
+  /// did, so event ordering is unchanged.
+  template <typename F>
+  TimerId register_multishot(F&& fn) {
+    const TimerId id = register_timer(std::forward<F>(fn));
+    slot_ptr(id.value - 1)->multishot = true;
+    return id;
+  }
+
+  /// Queue one more firing of a multishot timer at absolute time `t`,
+  /// clamped to now().
+  void fire_at(TimerId timer, TimePs t);
+
+  /// Arm (or re-arm) the timer to fire at absolute time `t`, clamped to
+  /// now(). An already-armed timer is moved — at most one firing is ever
+  /// pending. Legal from inside the timer's own callback.
+  void arm_timer(TimerId timer, TimePs t);
+
+  /// Cancel the pending firing, if any. The callback stays registered.
+  void disarm_timer(TimerId timer);
+
+  /// Whether the timer has a pending firing.
+  bool timer_armed(TimerId timer) {
+    return timer.valid() && slot_ptr(timer.value - 1)->armed;
+  }
 
   /// Run events until the queue empties or `t_end` is passed; events
   /// stamped exactly `t_end` are executed. The clock is left at t_end
@@ -127,25 +234,64 @@ class Scheduler {
   static constexpr std::uint32_t kSlotsPerChunk = 256;
   static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
 
+  // --- timing-wheel geometry ------------------------------------------------
+  // Tick width 2^17 ps = 131.072 ns: a 1500 B frame at 10 Gb/s (1.2 us)
+  // spans ~9 ticks, so the dominant short-horizon timers (tx completions,
+  // wake timers, rate-gate reprograms, PFC refresh) land in level 0/1.
+  // Four levels of 64 slots cover 64^4 ticks ~ 2.2 s; rarer far-horizon
+  // events (run horizons, stats flushes) go to the overflow heap and are
+  // promoted to the near heap when the cursor reaches their tick.
+  static constexpr int kTickShift = 17;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kLevels = 4;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kLevelBits;  // 64
+  static constexpr std::uint32_t kSlotMask = kSlotsPerLevel - 1;
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+  /// Wheel horizon in ticks: 64^4.
+  static constexpr std::int64_t kHorizonTicks = std::int64_t{1}
+                                                << (kLevelBits * kLevels);
+
+  using Tick = std::int64_t;
+  static Tick tick_of(TimePs t) { return t >> kTickShift; }
+
   struct Slot {
     alignas(std::max_align_t) std::byte storage[kInlineStorage];
     void (*run)(void*);      // invoke the callback, then destroy it
     void (*destroy)(void*);  // destroy only (cancel path); nullptr if trivial
-    // Generation tag; bumped when the event fires or is cancelled, which
-    // invalidates outstanding EventIds and stale heap entries in O(1).
-    // Never 0, so a forged/zero EventId can't match. (A tag wraps only
-    // after 2^32 reuses of one slot while a stale handle survives —
-    // beyond any simulation length we run.)
+    // Generation tag; bumped when the event fires, is cancelled or is
+    // rescheduled, which invalidates outstanding EventIds and stale queue
+    // entries in O(1). Never 0, so a forged/zero EventId can't match. (A
+    // tag wraps only after 2^32 reuses of one slot while a stale handle
+    // survives — beyond any simulation length we run.)
     std::uint32_t gen = 1;
     std::uint32_t next_free = kNoFreeSlot;
+    // Persistent-timer slots (register_timer): the callback outlives each
+    // firing and the slot never enters the free list while registered.
+    bool persistent = false;
+    bool armed = false;  // persistent only: a firing is pending
+    // Multishot timers allow many pending firings: the generation is never
+    // bumped while registered, so every queued entry stays live.
+    bool multishot = false;
   };
 
-  /// POD ready-queue entry; `seq` is the global FIFO tiebreaker.
+  /// POD ready-queue entry; `seq` is the global FIFO tiebreaker. Used by
+  /// both the near batch (events at or below the cursor tick) and the
+  /// overflow heap (events beyond the wheel horizon).
   struct HeapEntry {
     TimePs t;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
+  };
+
+  /// Pooled wheel-slot list node (singly linked, intra-slot order is
+  /// irrelevant: the near batch re-establishes (t, seq) order at dump time).
+  struct WheelNode {
+    TimePs t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    std::uint32_t next;
   };
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
@@ -159,18 +305,49 @@ class Scheduler {
   std::uint32_t alloc_slot();
   void release_slot(std::uint32_t idx, Slot& s);
 
-  void push_entry(HeapEntry e);
-  /// Pop the heap minimum. Precondition: heap non-empty.
-  HeapEntry pop_top();
+  /// Route a pending entry to the near batch (tick <= cursor), a wheel slot
+  /// (within the horizon) or the overflow heap.
+  void insert_entry(TimePs t, std::uint64_t seq, std::uint32_t slot,
+                    std::uint32_t gen);
+  void wheel_link(int level, std::uint32_t wslot, TimePs t, std::uint64_t seq,
+                  std::uint32_t slot, std::uint32_t gen);
+
+  /// Advance the cursor to the earliest occupied wheel/overflow position,
+  /// if its tick is <= `limit`: cascade higher-level slots starting there,
+  /// dump its level-0 slot and matching overflow entries into the near
+  /// batch (sorted once). Returns false when nothing is pending at or
+  /// below `limit`.
+  bool advance_once(Tick limit);
+
+  /// Reset and refill the near batch from the wheel/overflow. False when
+  /// empty. Only legal once the previous batch is fully consumed.
+  bool refill_near();
+
+  /// Earliest still-live pending entry without consuming it (stale entries
+  /// at the consume index are skipped on the way). False when nothing is
+  /// pending.
+  bool peek_live(HeapEntry* out);
+
   /// Run the live event in `e`'s slot (generation already verified).
   void execute(const HeapEntry& e);
+
+  void destroy_pending_callbacks();
 
   // Slab of stable-address slot chunks plus an intrusive free list.
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t free_head_ = kNoFreeSlot;
   std::uint32_t slots_used_ = 0;  // high-water mark of allocated slots
 
-  std::vector<HeapEntry> heap_;  // 4-ary min-heap
+  // Timing wheel + near/overflow heaps (see geometry above).
+  std::uint32_t wheel_[kLevels][kSlotsPerLevel];  // head node per slot
+  std::uint64_t occ_[kLevels] = {0, 0, 0, 0};     // occupancy bitmaps
+  Tick cur_tick_ = 0;                             // wheel cursor
+  std::vector<WheelNode> nodes_;                  // wheel node pool
+  std::uint32_t node_free_ = kNoNode;
+  std::vector<HeapEntry> near_;      // sorted batch, (t, seq) order
+  std::size_t near_idx_ = 0;         // consume cursor into near_
+  std::vector<HeapEntry> overflow_;  // 4-ary min-heap, (t, seq) order
+
   std::uint64_t next_seq_ = 0;
 
   TimePs now_ = 0;

@@ -62,9 +62,15 @@ constexpr Rate operator/(Rate r, double f) {
 }
 
 /// Serialization delay of `bytes` at `rate`, rounded up so the modeled
-/// sender never exceeds the physical rate.
+/// sender never exceeds the physical rate. Frame-sized byte counts keep
+/// the whole computation in 64 bits (one hardware divide on the per-packet
+/// path); only jumbo multi-megabyte counts pay the 128-bit libcall.
 constexpr TimePs tx_time(Rate rate, std::int64_t bytes) {
   if (rate.is_zero()) return kTimeNever;
+  if (bytes >= 0 && bytes < (std::int64_t{1} << 20)) {
+    const std::int64_t num = bytes * 8 * kPsPerSec;  // < 2^63 for bytes < 2^20
+    return (num + rate.bps - 1) / rate.bps;
+  }
   const __int128 num = static_cast<__int128>(bytes) * 8 * kPsPerSec;
   return static_cast<TimePs>((num + rate.bps - 1) / rate.bps);
 }

@@ -15,15 +15,21 @@ std::vector<TraceEvent> FlightRecorder::node_window(std::int32_t node) const {
   std::vector<TraceEvent> out;
   if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size()) return out;
   const TraceBuffer& ring = nodes_[static_cast<std::size_t>(node)];
-  out.reserve(ring.size());
-  for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring[i]);
+  // The backing ring rounds up to a power of two; the observable window is
+  // exactly the last `window_` events.
+  const std::size_t first = ring.size() > window_ ? ring.size() - window_ : 0;
+  out.reserve(ring.size() - first);
+  for (std::size_t i = first; i < ring.size(); ++i) out.push_back(ring[i]);
   return out;
 }
 
 std::vector<TraceEvent> FlightRecorder::merged_window() const {
   std::vector<TraceEvent> out;
-  for (const TraceBuffer& ring : nodes_)
-    for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring[i]);
+  for (const TraceBuffer& ring : nodes_) {
+    const std::size_t first =
+        ring.size() > window_ ? ring.size() - window_ : 0;
+    for (std::size_t i = first; i < ring.size(); ++i) out.push_back(ring[i]);
+  }
   // stable_sort keeps per-node push order for equal timestamps, and nodes_
   // iterates in node-id order, so the merge is fully deterministic.
   std::stable_sort(out.begin(), out.end(),

@@ -37,6 +37,34 @@ constexpr std::array<CategoryName, kNumCategories> kCategoryNames = {{
 
 }  // namespace
 
+void Tracer::flush_staged() const {
+  if (!deferred_ || seq_ == flushed_) return;
+  // The staged seqs form exactly the contiguous range [flushed_, seq_):
+  // every record's final ring position is known, so this is a compare-free
+  // scatter — one store per record — rather than a k-way merge.
+  for (auto& st : staged_)
+    for (const StagedEvent& s : st) ring_.scatter(s.seq - flushed_, s.e);
+  ring_.advance(seq_ - flushed_);
+  flushed_ = seq_;
+  for (auto& st : staged_) st.clear();  // keeps the reserve()d capacity
+}
+
+FlightRecorder* Tracer::flight_impl() const {
+  if (!deferred_) return flight_.get();
+  if (flight_window_ == 0) return nullptr;
+  flush_staged();
+  // Rebuild the per-node windows by replaying the retained ring — the
+  // whole flight-recorder cost lands here, at post-mortem/dump time,
+  // instead of on every recorded event.
+  if (!flight_built_ || flight_fed_ != ring_.total_recorded()) {
+    flight_ = std::make_unique<FlightRecorder>(flight_window_);
+    for (std::size_t i = 0; i < ring_.size(); ++i) flight_->observe(ring_[i]);
+    flight_fed_ = ring_.total_recorded();
+    flight_built_ = true;
+  }
+  return flight_.get();
+}
+
 const char* type_name(EventType t) {
   const auto i = static_cast<std::size_t>(t);
   return i < kTypeNames.size() ? kTypeNames[i] : "unknown";

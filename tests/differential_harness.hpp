@@ -1,0 +1,257 @@
+// Shared driver for the scheduler differential layer: a seeded adversarial
+// op-script generator plus a harness that applies the script to either
+// engine (production timing-wheel sim::Scheduler or the frozen PR-1 heap
+// in tests/reference_scheduler.hpp) and records every observable:
+// callback firings (tag, time), cancel/reschedule/step results, now(),
+// pending_events().
+//
+// Used by tests/scheduler_differential_test.cpp (gtest, fixed seeds) and
+// tests/scheduler_fuzz.cpp (standalone binary, seed sweep / timed runs).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reference_scheduler.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace gfc::sim::difftest {
+
+// One log record per callback firing.
+struct Fire {
+  std::uint64_t tag;
+  TimePs t;
+  bool operator==(const Fire&) const = default;
+};
+
+// The op script is pure data, generated once per seed and applied to both
+// engines. Callback side effects (chained schedules, timer re-arms) are
+// pure functions of the callback's tag, so identical execution order
+// implies identical behavior — and divergent order shows up in the logs.
+struct Op {
+  enum Kind : std::uint8_t {
+    kSchedule,    // one event at now + delta
+    kBurst,       // `count` events at the same instant (FIFO tie-order)
+    kCancel,      // cancel live[sel] (often already fired -> must be false)
+    kReschedule,  // reschedule live[sel] to now + delta
+    kRegisterTimer,
+    kArmTimer,    // arm timers[sel] at now + delta (re-targets if armed)
+    kDisarmTimer,
+    kStep,
+    kRunUntil,  // drain to now + delta
+    kClear,     // reset the engine; invalidates live ids and timers
+  };
+  Kind kind;
+  std::uint32_t count;  // kBurst width
+  std::uint32_t sel;    // index selector for cancel/resched/timer ops
+  TimePs delta;         // time offset for schedule/arm/run_until
+};
+
+// Timestamp deltas that probe every structural boundary of the wheel:
+// tick 0 (near list), exact bucket boundaries and off-by-ones, each
+// level-promotion frontier (2^(17+6k)), the last in-wheel frame, the
+// first overflow tick and deep overflow, plus generic near-term noise.
+inline TimePs adversarial_delta(std::mt19937_64& rng) {
+  constexpr TimePs kTick = TimePs{1} << 17;      // one wheel tick
+  constexpr TimePs kHorizon = kTick << (6 * 4);  // 64^4 ticks
+  switch (rng() % 16) {
+    case 0: return 0;                            // same instant
+    case 1: return 1;                            // same tick
+    case 2: return kTick - 1;                    // last ps of tick 0
+    case 3: return kTick;                        // exact tick boundary
+    case 4: return kTick + 1;
+    case 5: return kTick * (1 + static_cast<TimePs>(rng() % 63));  // level 0
+    case 6: return kTick << 6;                   // level-1 frontier
+    case 7: return (kTick << 6) * static_cast<TimePs>(1 + rng() % 63);
+    case 8: return kTick << 12;                  // level-2 frontier
+    case 9: return kTick << 18;                  // level-3 frontier
+    case 10: return (kTick << 18) * static_cast<TimePs>(1 + rng() % 63);
+    case 11: return kHorizon - kTick;            // last in-wheel frame
+    case 12: return kHorizon;                    // first overflow tick
+    case 13: return kHorizon + static_cast<TimePs>(rng() % (1u << 20));
+    case 14: return kHorizon * static_cast<TimePs>(1 + rng() % 7);  // deep
+    default: return static_cast<TimePs>(rng() % 200000);  // generic near
+  }
+}
+
+inline std::vector<Op> make_script(std::uint64_t seed, std::size_t n_ops) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> script;
+  script.reserve(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    Op op{};
+    const std::uint32_t roll = static_cast<std::uint32_t>(rng() % 100);
+    if (roll < 30) {
+      op.kind = Op::kSchedule;
+      op.delta = adversarial_delta(rng);
+    } else if (roll < 40) {
+      op.kind = Op::kBurst;  // dense same-instant churn
+      op.count = 2 + static_cast<std::uint32_t>(rng() % 7);
+      op.delta = adversarial_delta(rng);
+    } else if (roll < 52) {
+      op.kind = Op::kCancel;  // stale ids included on purpose
+      op.sel = static_cast<std::uint32_t>(rng());
+    } else if (roll < 60) {
+      op.kind = Op::kReschedule;
+      op.sel = static_cast<std::uint32_t>(rng());
+      op.delta = adversarial_delta(rng);
+    } else if (roll < 63) {
+      op.kind = Op::kRegisterTimer;
+    } else if (roll < 70) {
+      op.kind = Op::kArmTimer;
+      op.sel = static_cast<std::uint32_t>(rng());
+      op.delta = adversarial_delta(rng);
+    } else if (roll < 73) {
+      op.kind = Op::kDisarmTimer;
+      op.sel = static_cast<std::uint32_t>(rng());
+    } else if (roll < 85) {
+      op.kind = Op::kStep;
+    } else if (roll < 99) {
+      op.kind = Op::kRunUntil;
+      // Mostly modest drains; occasionally a huge jump that rolls the
+      // wheel cursor across whole level-3 frames (epoch advance).
+      op.delta = rng() % 8 == 0 ? adversarial_delta(rng) * 64
+                                : adversarial_delta(rng);
+    } else {
+      op.kind = Op::kClear;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+// Drives one engine through the script. Sched is sim::Scheduler or
+// testref::ReferenceScheduler — the API subset used here is identical.
+template <typename Sched>
+class Harness {
+ public:
+  void apply(const Op& op) {
+    switch (op.kind) {
+      case Op::kSchedule:
+        schedule_one(s_.now() + op.delta);
+        break;
+      case Op::kBurst: {
+        const TimePs t = s_.now() + op.delta;
+        for (std::uint32_t i = 0; i < op.count; ++i) schedule_one(t);
+        break;
+      }
+      case Op::kCancel:
+        if (!live_.empty())
+          results_.push_back(s_.cancel(live_[op.sel % live_.size()]));
+        break;
+      case Op::kReschedule:
+        if (!live_.empty()) {
+          const std::size_t k = op.sel % live_.size();
+          const EventId moved = s_.reschedule(live_[k], s_.now() + op.delta);
+          results_.push_back(moved.valid());
+          if (moved.valid()) live_[k] = moved;
+        }
+        break;
+      case Op::kRegisterTimer: {
+        const std::size_t ti = timers_.size();
+        timers_.push_back(s_.register_timer([this, ti] {
+          log_.push_back(Fire{kTimerTagBase + ti, s_.now()});
+          // Self re-arm with a bounded budget: the saturated-port drain
+          // pattern (arm from inside the timer's own firing).
+          if (timer_budget_[ti] > 0) {
+            --timer_budget_[ti];
+            s_.arm_timer(timers_[ti],
+                         s_.now() + 1 + static_cast<TimePs>(ti % 5) * 97);
+          }
+        }));
+        timer_budget_.push_back(0);
+        break;
+      }
+      case Op::kArmTimer:
+        if (!timers_.empty()) {
+          const std::size_t k = op.sel % timers_.size();
+          timer_budget_[k] = 3;
+          s_.arm_timer(timers_[k], s_.now() + op.delta);
+        }
+        break;
+      case Op::kDisarmTimer:
+        if (!timers_.empty()) {
+          const std::size_t k = op.sel % timers_.size();
+          s_.disarm_timer(timers_[k]);
+          results_.push_back(s_.timer_armed(timers_[k]));
+        }
+        break;
+      case Op::kStep:
+        results_.push_back(s_.step());
+        break;
+      case Op::kRunUntil:
+        s_.run_until(s_.now() + op.delta);
+        break;
+      case Op::kClear:
+        s_.clear();
+        live_.clear();
+        timers_.clear();
+        timer_budget_.clear();
+        break;
+    }
+  }
+
+  const std::vector<Fire>& log() const { return log_; }
+  const std::vector<bool>& results() const { return results_; }
+  TimePs now() const { return s_.now(); }
+  std::size_t pending() const { return s_.pending_events(); }
+  void drain() { s_.run_all(); }
+
+ private:
+  void schedule_one(TimePs t) {
+    const std::uint64_t tag = next_tag_++;
+    live_.push_back(s_.schedule_at(t, [this, tag] {
+      log_.push_back(Fire{tag, s_.now()});
+      // Every 7th callback chains a follow-up (in-callback scheduling is
+      // the simulator's normal mode); the delay is a pure function of the
+      // tag so both engines chain identically when order matches.
+      if (tag % 7 == 0) schedule_one(s_.now() + 1 + (tag % 1000) * 131);
+    }));
+  }
+
+  static constexpr std::uint64_t kTimerTagBase = 1ull << 48;
+
+  Sched s_;
+  std::vector<Fire> log_;
+  std::vector<bool> results_;
+  std::vector<EventId> live_;  // every id ever issued (stale ones included)
+  std::vector<TimerId> timers_;
+  std::vector<int> timer_budget_;
+  std::uint64_t next_tag_ = 0;
+};
+
+// Runs both engines through an `n_ops` script for `seed`. Returns an empty
+// string on agreement, else a description of the first divergence.
+inline std::string run_differential(std::uint64_t seed, std::size_t n_ops) {
+  const std::vector<Op> script = make_script(seed, n_ops);
+  Harness<Scheduler> wheel;
+  Harness<testref::ReferenceScheduler> ref;
+  auto fail = [seed](std::size_t i, const char* what) {
+    std::ostringstream os;
+    os << "seed " << seed << ": engines diverged on " << what << " after op "
+       << i;
+    return os.str();
+  };
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    wheel.apply(script[i]);
+    ref.apply(script[i]);
+    if (wheel.now() != ref.now()) return fail(i, "now()");
+    if (wheel.pending() != ref.pending()) return fail(i, "pending_events()");
+    if (wheel.log().size() != ref.log().size())
+      return fail(i, "executed-event count");
+  }
+  wheel.drain();
+  ref.drain();
+  const std::size_t n = script.size();
+  if (wheel.log() != ref.log()) return fail(n, "execution log");
+  if (wheel.results() != ref.results()) return fail(n, "op results");
+  if (wheel.now() != ref.now()) return fail(n, "final now()");
+  if (wheel.pending() != ref.pending()) return fail(n, "final pending");
+  return {};
+}
+
+}  // namespace gfc::sim::difftest

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Golden-output regression check: run one experiment binary and byte-compare
+# its output against the committed snapshot in tests/golden/.
+#
+#   golden_check.sh <binary> <golden-file> stdout <args...>   compare stdout
+#   golden_check.sh <binary> <golden-file> json   <args...>   compare --json
+#
+# The goldens were produced by the pooled-heap engine that shipped before
+# the timing-wheel scheduler; byte-identity here proves the wheel (and the
+# batched wire-event / deferred-trace changes riding on it) preserved the
+# simulation's event order exactly, not just its statistics. Regenerate
+# deliberately (and say so in the commit) if the simulation itself changes:
+#   ./build/bench/<binary> ... > tests/golden/<file>
+set -eu
+
+bin=$1
+golden=$2
+mode=$3
+shift 3
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+if [ "$mode" = stdout ]; then
+  "$bin" "$@" > "$tmp"
+else
+  "$bin" "$@" --json "$tmp" > /dev/null
+fi
+
+if ! cmp -s "$tmp" "$golden"; then
+  echo "golden mismatch: $bin $* vs $golden" >&2
+  diff -u "$golden" "$tmp" | head -40 >&2 || true
+  exit 1
+fi

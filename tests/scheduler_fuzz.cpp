@@ -1,0 +1,110 @@
+// Seeded scheduler fuzzer: open-ended differential sweep of the
+// production timing-wheel sim::Scheduler against the frozen reference
+// heap, using the same adversarial harness as the gtest differential
+// layer (tests/differential_harness.hpp). Plain binary with its own main
+// — no libFuzzer dependency — so it runs anywhere ctest does.
+//
+// Modes:
+//   scheduler_fuzz --seed N [--ops M]     replay one seed (repro a report)
+//   scheduler_fuzz --rounds K [--ops M]   sweep K consecutive seeds
+//   scheduler_fuzz --duration S [--ops M] sweep seeds for S wall seconds
+//
+// The starting seed for sweeps is derived from the clock unless --seed is
+// given, and every failure prints the exact seed + op count to rerun. Exit
+// status 0 = no divergence found.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "differential_harness.hpp"
+
+namespace {
+
+struct Args {
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::size_t ops = 20000;
+  std::uint64_t rounds = 0;
+  double duration_s = 0;
+};
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::uint64_t u = 0;
+    if (flag == "--seed" && val != nullptr && parse_u64(val, &u)) {
+      a->seed = u;
+      a->seed_set = true;
+      ++i;
+    } else if (flag == "--ops" && val != nullptr && parse_u64(val, &u)) {
+      a->ops = static_cast<std::size_t>(u);
+      ++i;
+    } else if (flag == "--rounds" && val != nullptr && parse_u64(val, &u)) {
+      a->rounds = u;
+      ++i;
+    } else if (flag == "--duration" && val != nullptr) {
+      a->duration_s = std::strtod(val, nullptr);
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--ops M] [--rounds K] "
+                   "[--duration SECONDS]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, &args)) return 2;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::uint64_t seed =
+      args.seed_set
+          ? args.seed
+          : static_cast<std::uint64_t>(
+                std::chrono::system_clock::now().time_since_epoch().count());
+
+  // One-seed replay unless a sweep was requested.
+  std::uint64_t rounds = args.rounds;
+  if (rounds == 0 && args.duration_s <= 0) rounds = 1;
+
+  std::uint64_t done = 0;
+  for (;; ++seed, ++done) {
+    if (rounds != 0 && done >= rounds) break;
+    if (args.duration_s > 0 && elapsed_s() >= args.duration_s) break;
+    const std::string divergence =
+        gfc::sim::difftest::run_differential(seed, args.ops);
+    if (!divergence.empty()) {
+      std::fprintf(stderr, "FAIL: %s\nreproduce with: --seed %llu --ops %zu\n",
+                   divergence.c_str(),
+                   static_cast<unsigned long long>(seed), args.ops);
+      return 1;
+    }
+  }
+  std::printf("scheduler_fuzz: %llu seed(s) x %zu ops, no divergence "
+              "(last seed %llu, %.1fs)\n",
+              static_cast<unsigned long long>(done), args.ops,
+              static_cast<unsigned long long>(seed - 1), elapsed_s());
+  return 0;
+}

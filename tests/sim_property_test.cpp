@@ -42,6 +42,7 @@ struct ScheduledSpec {
 enum class Op : std::uint8_t {
   kSchedule,
   kCancel,
+  kReschedule,  // move a pending event to now + delay (fresh FIFO order)
   kStep,
   kRunUntil,
   kRunAll,
@@ -51,8 +52,28 @@ struct ScriptOp {
   Op op;
   TimePs delay = 0;     // kSchedule: offset from now; kRunUntil: horizon offset
   ScheduledSpec spec{};  // kSchedule
-  std::uint64_t target_pick = 0;  // kCancel: raw pick, reduced mod issued
+  std::uint64_t target_pick = 0;  // kCancel/kReschedule: pick mod issued
 };
+
+// Delays that land on an implementation's likely structural boundaries:
+// power-of-two bucket edges and off-by-ones, coarse-bucket frontiers, and
+// offsets at/beyond a far-future horizon (the current engine's timing
+// wheel covers 2^41 ps; a different engine just sees large delays — the
+// script stays engine-agnostic either way).
+TimePs boundary_delay(Rng& rng) {
+  constexpr TimePs kTick = TimePs{1} << 17;
+  constexpr TimePs kHorizon = kTick << 24;
+  switch (rng.uniform_int(0, 7)) {
+    case 0: return kTick - 1;
+    case 1: return kTick;
+    case 2: return kTick + 1;
+    case 3: return kTick << 6;
+    case 4: return kTick << 12;
+    case 5: return kHorizon - kTick;
+    case 6: return kHorizon;  // first event past the wheel's reach
+    default: return kHorizon * rng.uniform_int(1, 4);  // deep overflow
+  }
+}
 
 // Trace entries are (tag, value) pairs; any divergence in firing order,
 // cancel results, clock values or counters shows up as a trace mismatch.
@@ -71,13 +92,43 @@ std::vector<ScriptOp> make_script(Rng& rng, int n_ops) {
   std::vector<ScriptOp> script;
   script.reserve(static_cast<std::size_t>(n_ops));
   for (int i = 0; i < n_ops; ++i) {
+    // Occasionally emit a dense churn block: schedules, cancels and
+    // reschedules all pinned to one instant (often a bucket boundary) —
+    // the worst case for same-timestamp FIFO bookkeeping.
+    if (rng.uniform_int(0, 39) == 0) {
+      const TimePs d = rng.uniform_int(0, 1) == 0 ? boundary_delay(rng)
+                                                  : rng.uniform_int(0, 3) * 100;
+      const auto burst = rng.uniform_int(6, 14);
+      for (std::int64_t b = 0; b < burst && i < n_ops; ++b, ++i) {
+        ScriptOp s;
+        const auto r = rng.uniform_int(0, 9);
+        if (r <= 4) {
+          s.op = Op::kSchedule;
+          s.delay = d;
+          s.spec.action = Action::kNone;
+        } else if (r <= 6) {
+          s.op = Op::kCancel;
+          s.target_pick =
+              static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+        } else {
+          s.op = Op::kReschedule;
+          s.delay = d;
+          s.target_pick =
+              static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+        }
+        script.push_back(s);
+      }
+      continue;
+    }
     ScriptOp s;
     const auto roll = rng.uniform_int(0, 99);
-    if (roll < 45) {
+    if (roll < 40) {
       s.op = Op::kSchedule;
       // Cluster timestamps: a small delay range forces same-timestamp
-      // collisions, which is where FIFO tie-breaking lives.
-      s.delay = rng.uniform_int(0, 9) * 100;
+      // collisions, which is where FIFO tie-breaking lives. A slice of
+      // boundary delays lands events on bucket edges and past the horizon.
+      s.delay = rng.uniform_int(0, 9) == 0 ? boundary_delay(rng)
+                                           : rng.uniform_int(0, 9) * 100;
       const auto a = rng.uniform_int(0, 9);
       if (a <= 4) s.spec.action = Action::kNone;
       else if (a == 5) s.spec.action = Action::kScheduleSameT;
@@ -86,14 +137,22 @@ std::vector<ScriptOp> make_script(Rng& rng, int n_ops) {
         s.spec.param = rng.uniform_int(0, 5) * 100;
       } else if (a == 8) s.spec.action = Action::kCancelDerived;
       else s.spec.action = Action::kRequestStop;
-    } else if (roll < 70) {
+    } else if (roll < 62) {
       s.op = Op::kCancel;
       s.target_pick = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
-    } else if (roll < 85) {
+    } else if (roll < 70) {
+      s.op = Op::kReschedule;
+      s.delay = rng.uniform_int(0, 7) == 0 ? boundary_delay(rng)
+                                           : rng.uniform_int(0, 9) * 100;
+      s.target_pick = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    } else if (roll < 83) {
       s.op = Op::kStep;
     } else if (roll < 97) {
       s.op = Op::kRunUntil;
-      s.delay = rng.uniform_int(0, 12) * 100;
+      // Mostly short horizons; sometimes a drain that crosses bucket
+      // frontiers or reaches the far-future events in one jump.
+      s.delay = rng.uniform_int(0, 7) == 0 ? boundary_delay(rng) * 2
+                                           : rng.uniform_int(0, 12) * 100;
     } else {
       s.op = Op::kRunAll;
     }
@@ -121,6 +180,15 @@ class RealHarness {
         if (!ids_.empty()) {
           const std::size_t t = s.target_pick % ids_.size();
           trace_.push_back({kCancelResult, sched_.cancel(ids_[t]) ? 1 : 0});
+        }
+        break;
+      case Op::kReschedule:
+        if (!ids_.empty()) {
+          const std::size_t t = s.target_pick % ids_.size();
+          const EventId moved =
+              sched_.reschedule(ids_[t], sched_.now() + s.delay);
+          trace_.push_back({kCancelResult, moved.valid() ? 1 : 0});
+          if (moved.valid()) ids_[t] = moved;
         }
         break;
       case Op::kStep:
@@ -187,7 +255,8 @@ class ModelHarness {
  private:
   struct Ev {
     TimePs t;
-    std::uint64_t serial;
+    std::uint64_t serial;  // identity (cancel target, trace tag)
+    std::uint64_t order;   // FIFO tie-break; bumped by reschedule
   };
 
   void apply(const ScriptOp& s) {
@@ -199,6 +268,12 @@ class ModelHarness {
         if (!specs_.empty()) {
           const std::uint64_t t = s.target_pick % specs_.size();
           trace_.push_back({kCancelResult, cancel(t) ? 1 : 0});
+        }
+        break;
+      case Op::kReschedule:
+        if (!specs_.empty()) {
+          const std::uint64_t t = s.target_pick % specs_.size();
+          trace_.push_back({kCancelResult, reschedule(t, now_ + s.delay) ? 1 : 0});
         }
         break;
       case Op::kStep:
@@ -220,7 +295,7 @@ class ModelHarness {
     if (t < now_) t = now_;  // documented clamp
     const std::uint64_t serial = specs_.size();
     specs_.push_back(spec);
-    pending_.push_back(Ev{t, serial});
+    pending_.push_back(Ev{t, serial, next_order_++});
   }
 
   bool cancel(std::uint64_t serial) {
@@ -233,14 +308,28 @@ class ModelHarness {
     return false;
   }
 
-  // Index of the earliest (t, serial) pending event, or npos.
+  // Documented reschedule semantics: observably cancel + schedule at `t`,
+  // i.e. the moved event goes behind existing same-timestamp events
+  // (fresh FIFO order), and moving a fired/cancelled event fails.
+  bool reschedule(std::uint64_t serial, TimePs t) {
+    for (Ev& ev : pending_) {
+      if (ev.serial == serial) {
+        ev.t = t < now_ ? now_ : t;
+        ev.order = next_order_++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Index of the earliest (t, order) pending event, or npos.
   std::size_t min_index() const {
     std::size_t best = static_cast<std::size_t>(-1);
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (best == static_cast<std::size_t>(-1) ||
           pending_[i].t < pending_[best].t ||
           (pending_[i].t == pending_[best].t &&
-           pending_[i].serial < pending_[best].serial))
+           pending_[i].order < pending_[best].order))
         best = i;
     }
     return best;
@@ -302,6 +391,7 @@ class ModelHarness {
 
   std::vector<Ev> pending_;
   std::vector<ScheduledSpec> specs_;
+  std::uint64_t next_order_ = 0;
   TimePs now_ = 0;
   std::uint64_t executed_ = 0;
   bool stop_ = false;
