@@ -22,44 +22,30 @@
 //     mid-run and restores it later; routing is recomputed on each
 //     transition and stranded packets are re-routed. The closed-loop
 //     workload should keep completing flows through the outage.
+//
+//  4. mechanism x scenario matrix — every registered mechanism
+//     (src/mech/registry: prevention, detection and avoidance families)
+//     on the deadlocking ring and the cycle-free incast, no faults.
+//     One table: who deadlocks, who recovers, and at what cost (packets
+//     sacrificed, lossless violations, path stretch, buffer headroom).
 #include "bench_common.hpp"
 #include "exp/cli.hpp"
 #include "exp/worker_pool.hpp"
 #include "fault/link_scheduler.hpp"
+#include "mech/dcfit.hpp"
+#include "mech/registry.hpp"
 
 using namespace gfc;
 using namespace gfc::runner;
 
 namespace {
 
-struct Mech {
-  const char* name;
-  FcKind kind;
-  bool heal;  // enable pause expiry (PFC) / credit sync (CBFC)
-};
+using mech::MechSpec;
+using mech::unblock_frame;
 
-constexpr Mech kMechs[] = {
-    {"PFC", FcKind::kPfc, false},
-    {"PFC+expiry", FcKind::kPfc, true},
-    {"CBFC", FcKind::kCbfc, false},
-    {"CBFC+sync", FcKind::kCbfc, true},
-    {"GFC-buffer", FcKind::kGfcBuffer, false},
-    {"GFC-time", FcKind::kGfcTime, false},
-};
-
-/// The frame type that *grants* transmission for each mechanism. Losing a
-/// PAUSE merely risks overflow; losing the RESUME / credit / rate feedback
-/// is the dangerous direction — the upstream stays throttled until the
-/// mechanism's own redundancy (if any) repairs the state. The sweep drops
-/// exactly these frames.
-net::PacketType unblock_frame(FcKind kind) {
-  switch (kind) {
-    case FcKind::kPfc: return net::PacketType::kPfcResume;
-    case FcKind::kCbfc: return net::PacketType::kCredit;
-    case FcKind::kGfcBuffer: return net::PacketType::kGfcStage;
-    default: return net::PacketType::kGfcQueue;  // time-based GFC
-  }
-}
+/// Loss-sweep rows (group 1): the six original mechanisms. The full
+/// registry — including DCFIT and CBD-routing — runs in the matrix group.
+constexpr std::size_t kLossMechs = 6;
 
 /// Per-trial trace artifacts (--trace): every trial exports its event ring
 /// as Chrome JSON + CSV named by the trial id — the deterministic key — so
@@ -76,17 +62,14 @@ void export_trial_trace(const exp::CliOptions& cli, const std::string& name,
 // Every trial's fabric honors the binary-wide --analyze mode.
 analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
 
-ScenarioConfig config_for(const Mech& m, std::uint64_t base) {
+ScenarioConfig config_for(const MechSpec& m, std::uint64_t base) {
   ScenarioConfig cfg;
   cfg.preflight = g_preflight;
   cfg.seed = 1 + base;
-  cfg.fc = FcSetup::derive(m.kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
-  if (m.heal) {
-    // Pause expiry well above the refresh the pauser sends every timeout/2,
-    // so a healthy run never expires early; credit re-sync every ~2 periods.
-    cfg.fc.pfc_pause_timeout = sim::us(50);
-    cfg.fc.cbfc_sync_period = sim::us(100);
-  }
+  // setup_for = FcSetup::derive + the spec's heal / break / routing knobs;
+  // every registered mechanism is derivable at the default 300 KB buffer.
+  cfg.fc = mech::setup_for(m, cfg.switch_buffer, cfg.link.rate, cfg.tau())
+               .value();
   return cfg;
 }
 
@@ -96,7 +79,7 @@ ScenarioConfig config_for(const Mech& m, std::uint64_t base) {
 /// *minimum* per-sender tail (last-quarter) goodput: one permanently
 /// wedged sender shows up as min_tail ~ 0 even when the shared bottleneck
 /// hides it from the aggregate.
-exp::TrialResult run_loss_trial(bool ring, const Mech& m, double drop,
+exp::TrialResult run_loss_trial(bool ring, const MechSpec& m, double drop,
                                 std::uint64_t fault_seed, std::uint64_t base,
                                 sim::TimePs dur, const exp::CliOptions& cli,
                                 const std::string& trial_name) {
@@ -149,7 +132,7 @@ exp::TrialResult run_loss_trial(bool ring, const Mech& m, double drop,
 
 /// Group 2 trial body: let the ring deadlock, then drain-and-reset the
 /// witness cycle (DeadlockOptions::recover) and keep going.
-exp::TrialResult run_recovery_trial(const Mech& m, std::uint64_t base,
+exp::TrialResult run_recovery_trial(const MechSpec& m, std::uint64_t base,
                                     sim::TimePs dur,
                                     const exp::CliOptions& cli,
                                     const std::string& trial_name) {
@@ -177,9 +160,68 @@ exp::TrialResult run_recovery_trial(const Mech& m, std::uint64_t base,
   return out;
 }
 
+/// Group 4 trial body: one cell of the mechanism x scenario matrix.
+/// Permanent line-rate flows, no injected faults: the mechanism against
+/// the bare scenario. Reports the full cost accounting — ground-truth
+/// deadlock, goodput (overall and tail), DCFIT detection/break counters,
+/// lossless violations, PFC-family buffer headroom and routing stretch.
+exp::TrialResult run_matrix_trial(bool ring, const MechSpec& m,
+                                  std::uint64_t base, sim::TimePs dur,
+                                  const exp::CliOptions& cli,
+                                  const std::string& trial_name) {
+  ScenarioConfig cfg = config_for(m, base);
+  cfg.trace = cli.trace_options();
+
+  RingScenario rs;
+  IncastScenario is;
+  Fabric* fabric = nullptr;
+  std::vector<net::NodeId> senders;
+  const mech::RoutingStats* routing = nullptr;
+  if (ring) {
+    rs = make_ring(cfg, 3, 2);
+    fabric = rs.fabric.get();
+    senders.assign(rs.info.hosts.begin(), rs.info.hosts.end());
+    routing = &rs.route_stats;
+  } else {
+    is = make_incast(cfg, 4);
+    fabric = is.fabric.get();
+    senders.assign(is.info.senders.begin(), is.info.senders.end());
+    routing = &is.route_stats;
+  }
+  net::Network& net = fabric->net();
+  stats::ThroughputSampler tp(net, sim::us(100));
+  stats::DeadlockDetector det(net);
+  net.run_until(dur);
+
+  const mech::DcfitTotals dcfit = mech::collect_dcfit(net);
+  const bool pfc_family =
+      cfg.fc.kind == FcKind::kPfc || cfg.fc.kind == FcKind::kDcfit;
+  exp::TrialResult out;
+  out.add("gbps", tp.average_gbps(0, sim::ms(1), dur) /
+                      static_cast<double>(senders.size()))
+      .add("tail_gbps", tp.average_gbps(0, dur * 3 / 4, dur) /
+                            static_cast<double>(senders.size()))
+      .add("deadlocked", det.deadlocked())
+      .add("violations", net.counters().lossless_violations)
+      .add("mech_detections", dcfit.detections)
+      .add("mech_false_positives", dcfit.false_positives)
+      .add("mech_sacrificed", dcfit.packets_sacrificed)
+      .add("mech_bypasses", dcfit.bypasses)
+      .add("detect_latency_us", dcfit.first_detection_latency >= 0
+                                    ? sim::to_seconds(
+                                          dcfit.first_detection_latency) * 1e6
+                                    : -1.0)
+      .add("headroom_bytes",
+           pfc_family ? cfg.switch_buffer - cfg.fc.xoff : std::int64_t{0})
+      .add("stretch_avg", cfg.fc.cbd_free_routing ? routing->avg_stretch : 1.0)
+      .add("cbd_free_routing", cfg.fc.cbd_free_routing);
+  export_trial_trace(cli, trial_name, *fabric);
+  return out;
+}
+
 /// Group 3 trial body: closed-loop fat-tree run with one switch-switch
 /// link flapped mid-run; routing recomputed on each transition.
-exp::TrialResult run_flap_trial(const Mech& m, std::uint64_t base,
+exp::TrialResult run_flap_trial(const MechSpec& m, std::uint64_t base,
                                 sim::TimePs dur, const exp::CliOptions& cli,
                                 const std::string& trial_name) {
   ScenarioConfig cfg = config_for(m, base);
@@ -231,6 +273,7 @@ int main(int argc, char** argv) {
                 : std::vector<double>{0.0, 0.02, 0.1, 0.3};
   const sim::TimePs dur = cli.quick ? sim::ms(4) : sim::ms(8);
   const std::uint64_t base = cli.seed;
+  const std::vector<MechSpec>& mechs = mech::all_mechanisms();
 
   exp::Campaign campaign;
   campaign.name = "fault_sweep";
@@ -241,7 +284,8 @@ int main(int argc, char** argv) {
   for (int topo_i = 0; topo_i < 2; ++topo_i) {
     const bool ring = topo_i == 1;
     const char* tname = ring ? "ring" : "incast";
-    for (const Mech& m : kMechs) {
+    for (std::size_t mi = 0; mi < kLossMechs; ++mi) {
+      const MechSpec& m = mechs[mi];
       for (double drop : drops) {
         exp::ParamSet p;
         p.set("group", "loss");
@@ -263,7 +307,7 @@ int main(int argc, char** argv) {
   }
 
   // --- group 2: deadlock recovery on the ring ----------------------------
-  for (const Mech& m : {kMechs[0], kMechs[2]}) {  // bare PFC, bare CBFC
+  for (const MechSpec& m : {mechs[0], mechs[2]}) {  // bare PFC, bare CBFC
     exp::ParamSet p;
     p.set("group", "recovery");
     p.set("topo", "ring");
@@ -275,7 +319,7 @@ int main(int argc, char** argv) {
   }
 
   // --- group 3: mid-run link flap on a fat-tree --------------------------
-  for (const Mech& m : {kMechs[1], kMechs[4]}) {  // PFC+expiry, GFC-buffer
+  for (const MechSpec& m : {mechs[1], mechs[4]}) {  // PFC+expiry, GFC-buffer
     exp::ParamSet p;
     p.set("group", "flap");
     p.set("topo", "fattree-k4");
@@ -284,6 +328,22 @@ int main(int argc, char** argv) {
     campaign.add(name, std::move(p), [m, base, dur, cli, name] {
       return run_flap_trial(m, base, dur, cli, name);
     });
+  }
+
+  // --- group 4: mechanism x scenario matrix ------------------------------
+  for (int topo_i = 0; topo_i < 2; ++topo_i) {
+    const bool ring = topo_i == 0;
+    const char* tname = ring ? "ring" : "incast";
+    for (const MechSpec& m : mechs) {
+      exp::ParamSet p;
+      p.set("group", "matrix");
+      p.set("topo", tname);
+      p.set("mechanism", m.name);
+      const std::string name = "matrix/" + std::string(tname) + "/" + m.name;
+      campaign.add(name, std::move(p), [ring, m, base, dur, cli, name] {
+        return run_matrix_trial(ring, m, base, dur, cli, name);
+      });
+    }
   }
 
   const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
@@ -300,8 +360,9 @@ int main(int argc, char** argv) {
       std::printf("%16s", lbl);
     }
     std::printf("\n");
-    for (const Mech& m : kMechs) {
-      std::printf("  %-12s", m.name);
+    for (std::size_t mi = 0; mi < kLossMechs; ++mi) {
+      const MechSpec& m = mechs[mi];
+      std::printf("  %-12s", m.name.c_str());
       for (double d : drops) {
         char dbuf[32];
         std::snprintf(dbuf, sizeof(dbuf), "%g", d);
@@ -324,11 +385,11 @@ int main(int argc, char** argv) {
   std::printf("\n(2) deadlock recovery (ring, organic deadlock, drain-and-"
               "reset)\n  %-12s %10s %10s %16s %10s\n", "mechanism",
               "detections", "recoveries", "dropped_packets", "tail_gbps");
-  for (const Mech& m : {kMechs[0], kMechs[2]}) {
+  for (const MechSpec& m : {mechs[0], mechs[2]}) {
     const exp::TrialRecord* t =
         result.find("recovery/ring/" + std::string(m.name));
     if (!t || t->failed) continue;
-    std::printf("  %-12s %10lld %10lld %16lld %10.2f\n", m.name,
+    std::printf("  %-12s %10lld %10lld %16lld %10.2f\n", m.name.c_str(),
                 static_cast<long long>(t->metrics.find("detections")->as_int()),
                 static_cast<long long>(t->metrics.find("recoveries")->as_int()),
                 static_cast<long long>(
@@ -339,12 +400,12 @@ int main(int argc, char** argv) {
   std::printf("\n(3) mid-run link flap (fat-tree k=4, closed loop)\n"
               "  %-12s %8s %10s %10s %10s %6s\n", "mechanism", "gbps",
               "completed", "wire_lost", "rerouted*", "flaps");
-  for (const Mech& m : {kMechs[1], kMechs[4]}) {
+  for (const MechSpec& m : {mechs[1], mechs[4]}) {
     const exp::TrialRecord* t =
         result.find("flap/fattree-k4/" + std::string(m.name));
     if (!t || t->failed) continue;
     std::printf(
-        "  %-12s %8.2f %10lld %10lld %10lld %3d/%-2d\n", m.name,
+        "  %-12s %8.2f %10lld %10lld %10lld %3d/%-2d\n", m.name.c_str(),
         t->metrics.find("gbps")->as_double(),
         static_cast<long long>(t->metrics.find("flows_completed")->as_int()),
         static_cast<long long>(t->metrics.find("wire_lost")->as_int()),
@@ -355,9 +416,53 @@ int main(int argc, char** argv) {
   std::printf("  (* failover_drops: stranded behind the dead egress with no "
               "alternative route)\n");
 
+  std::printf("\n(4) mechanism x scenario matrix (no faults; prevention vs "
+              "detection vs avoidance)\n");
+  for (int topo_i = 0; topo_i < 2; ++topo_i) {
+    const bool ring = topo_i == 0;
+    std::printf("\n  %s:\n  %-15s %5s %6s %6s %6s %9s %9s %6s %8s %8s\n",
+                ring ? "ring (CBD-prone)" : "incast (cycle-free)", "mechanism",
+                "dead", "gbps", "tail", "viol", "detects", "lat_us", "drops",
+                "headroom", "stretch");
+    for (const MechSpec& m : mechs) {
+      const exp::TrialRecord* t = result.find(
+          "matrix/" + std::string(ring ? "ring" : "incast") + "/" + m.name);
+      if (!t || t->failed) {
+        std::printf("  %-15s %s\n", m.name.c_str(), "FAILED");
+        continue;
+      }
+      const double lat = t->metrics.find("detect_latency_us")->as_double();
+      char latbuf[16];
+      if (lat >= 0)
+        std::snprintf(latbuf, sizeof(latbuf), "%.1f", lat);
+      else
+        std::snprintf(latbuf, sizeof(latbuf), "-");
+      std::printf(
+          "  %-15s %5s %6.2f %6.2f %6lld %9lld %9s %6lld %8lld %8.2f\n",
+          m.name.c_str(),
+          t->metrics.find("deadlocked")->as_bool() ? "YES" : "no",
+          t->metrics.find("gbps")->as_double(),
+          t->metrics.find("tail_gbps")->as_double(),
+          static_cast<long long>(t->metrics.find("violations")->as_int()),
+          static_cast<long long>(
+              t->metrics.find("mech_detections")->as_int()),
+          latbuf,
+          static_cast<long long>(t->metrics.find("mech_sacrificed")->as_int()),
+          static_cast<long long>(t->metrics.find("headroom_bytes")->as_int()),
+          t->metrics.find("stretch_avg")->as_double());
+    }
+  }
+  std::printf("  (dead = ground-truth detector latched; detects/lat_us/drops "
+              "= DCFIT in-band\n   accounting; headroom = buffer - XOFF for "
+              "the PFC family; stretch = avg path\n   stretch under CBD-free "
+              "routing)\n");
+
   std::printf("\nExpected shape: bare PFC's tail goodput collapses once "
               "RESUMEs are lost; the\nself-healing variants and both GFC "
-              "mechanisms keep delivering at every loss rate.\n");
+              "mechanisms keep delivering at every loss rate.\nIn the matrix, "
+              "the ring wedges PFC/CBFC forever, DCFIT detects in-band and\n"
+              "keeps traffic moving at a packet cost, CBD-routing and GFC "
+              "never deadlock.\n");
 
   return exp::finish_cli(cli, result) ? 0 : 1;
 }

@@ -10,18 +10,57 @@ Two input flavors are auto-detected:
   google-benchmark context and the aggregate benchmark entries, so
   before/after comparisons live side by side in a single reviewable file.
 * exp:: campaign output (schema "gfc-campaign-v1", from --json on
-  fig16_17_overall / table1_deadlock_cases / gfc_sweep): the tracked file
-  gets the campaign name plus per-trial params/metrics, and — when the
-  campaign was written with --timing — the jobs/wall_ms metadata, so
-  serial-vs-parallel wall-clock comparisons are recorded next to the
-  microbenchmarks. --summary-only drops the per-trial list and keeps just
-  the counts + timing, for wall-clock records where the trial data is
-  already tracked elsewhere.
+  fig16_17_overall / table1_deadlock_cases / fault_sweep / gfc_sweep): the
+  tracked file gets the campaign name plus per-trial params/metrics, and —
+  when the campaign was written with --timing — the jobs/wall_ms metadata,
+  so serial-vs-parallel wall-clock comparisons are recorded next to the
+  microbenchmarks. Campaigns whose trials carry a params.mechanism
+  (fault_sweep's mechanism x scenario matrix, table1) additionally get a
+  deterministic per-mechanism rollup under "by_mechanism". --summary-only
+  drops the per-trial list and keeps just the counts + timing + rollup,
+  for wall-clock records where the trial data is already tracked
+  elsewhere.
 
 Either way, re-running with the same label replaces that run in place.
 """
 import json
 import sys
+
+
+def mechanism_summary(trials: list) -> dict | None:
+    """Group trials by params.mechanism: per mechanism (sorted), the
+    trial/failure counts plus one aggregate per metric (sorted) — a
+    true-count for booleans (e.g. how many scenarios deadlocked), a mean
+    for numbers — so each mechanism's behavior across the campaign is
+    reviewable without scanning the trial list."""
+    groups: dict[str, list] = {}
+    for t in trials:
+        mech = (t.get("params") or {}).get("mechanism")
+        if mech is not None:
+            groups.setdefault(mech, []).append(t)
+    if not groups:
+        return None
+    out: dict[str, dict] = {}
+    for mech in sorted(groups):
+        ts = groups[mech]
+        summary: dict = {
+            "n_trials": len(ts),
+            "n_failed": sum(1 for t in ts if t.get("failed")),
+        }
+        metrics: dict[str, list] = {}
+        for t in ts:
+            for k, v in (t.get("metrics") or {}).items():
+                metrics.setdefault(k, []).append(v)
+        for k in sorted(metrics):
+            vals = metrics[k]
+            if all(isinstance(v, bool) for v in vals):
+                summary[k + "_count"] = sum(1 for v in vals if v)
+            elif all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in vals):
+                summary[k + "_mean"] = round(sum(vals) / len(vals), 6)
+        out[mech] = summary
+    return out
 
 
 def campaign_run(label: str, commit: str, raw: dict,
@@ -38,6 +77,9 @@ def campaign_run(label: str, commit: str, raw: dict,
     for key in ("jobs", "wall_ms"):  # present only with --timing
         if key in raw:
             run[key] = raw[key]
+    by_mechanism = mechanism_summary(trials)
+    if by_mechanism is not None:
+        run["by_mechanism"] = by_mechanism
     if not summary_only:
         run["trials"] = trials
     return run

@@ -35,6 +35,10 @@ Verdict Report::verdict() const {
       return Verdict::kSafe;
     case runner::FcKind::kPfc:
     case runner::FcKind::kCbfc:
+    // DCFIT *recovers from* deadlock rather than preventing it: the static
+    // verdict stays at-risk (the CBD can still wedge; detection then drops
+    // or bypasses its way out at runtime).
+    case runner::FcKind::kDcfit:
       return Verdict::kAtRisk;
     case runner::FcKind::kGfcBuffer:
     case runner::FcKind::kGfcTime:
@@ -147,6 +151,7 @@ void check_bounds(const Input& in, Report* rep) {
     case runner::FcKind::kNone:
       break;
     case runner::FcKind::kPfc:
+    case runner::FcKind::kDcfit:  // rides on PFC thresholds
       // Lossless headroom: everything in flight when PAUSE triggers (C*tau
       // plus packet-granularity slack, the derive() model) must still fit.
       add("pfc_headroom", "XOFF + C*tau + 2*MTU + 2*ctrl <= capacity",

@@ -26,6 +26,7 @@ void PfcModule::arm_refresh(int port, int prio) {
     // Keep the upstream's quanta topped up (and repair a lost PAUSE).
     Packet* frame = node().make_control(PacketType::kPfcPause);
     frame->fc_priority = prio;
+    decorate_pause(*frame, port, prio);
     network().trace_event(trace::EventType::kPauseTx, node().id(), port, prio,
                           frame->id, /*refresh=*/1);
     node().send_control(port, frame);
@@ -37,11 +38,13 @@ void PfcModule::send_pause_state(int port, int prio, bool pause) {
   Packet* frame = node().make_control(pause ? PacketType::kPfcPause
                                             : PacketType::kPfcResume);
   frame->fc_priority = prio;
+  if (pause) decorate_pause(*frame, port, prio);
   network().trace_event(
       pause ? trace::EventType::kPauseTx : trace::EventType::kResumeTx,
       node().id(), port, prio, frame->id, /*refresh=*/0);
   node().send_control(port, frame);
   pause_sent_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)] = pause;
+  on_pause_state(port, prio, pause);
   if (cfg_.pause_timeout > 0) {
     auto& ev =
         refresh_[static_cast<std::size_t>(port)][static_cast<std::size_t>(prio)];
@@ -84,9 +87,18 @@ void PfcModule::on_control(int port, const Packet& pkt) {
                            cfg_.pause_timeout > 0
                                ? sched().now() + cfg_.pause_timeout
                                : sim::kTimeNever);
+    on_pause_rx(port, pkt);
   } else {
     gate->set_paused_until(pkt.fc_priority, 0);
+    on_resume_rx(port, pkt);
   }
+  node().port(port).kick();
+}
+
+void PfcModule::force_unpause(int port, int prio) {
+  PauseGate* gate = gates_[static_cast<std::size_t>(port)];
+  if (gate == nullptr) return;
+  gate->set_paused_until(prio, 0);
   node().port(port).kick();
 }
 

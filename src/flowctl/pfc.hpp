@@ -35,7 +35,7 @@ struct PfcConfig {
   }
 };
 
-class PfcModule final : public LinkFcBase {
+class PfcModule : public LinkFcBase {
  public:
   explicit PfcModule(const PfcConfig& cfg) : cfg_(cfg) {}
 
@@ -55,6 +55,23 @@ class PfcModule final : public LinkFcBase {
 
  protected:
   void on_attach() override;
+
+  // --- subclass hooks (DCFIT, src/mech/dcfit.*) ---------------------------
+  /// An outgoing PAUSE frame is about to be sent on `port` for `prio`
+  /// (both the XOFF edge and refresh re-sends); decorate its payload.
+  virtual void decorate_pause(Packet&, int /*port*/, int /*prio*/) {}
+  /// The downstream pause state for (port, prio) just changed.
+  virtual void on_pause_state(int /*port*/, int /*prio*/, bool /*pause*/) {}
+  /// A PAUSE / RESUME frame was received and applied to the gate.
+  virtual void on_pause_rx(int /*port*/, const Packet&) {}
+  virtual void on_resume_rx(int /*port*/, const Packet&) {}
+
+  /// Emit the PAUSE (pause=true) or RESUME edge on `port` for `prio` and
+  /// record the new downstream state.
+  void send_pause_state(int port, int prio, bool pause);
+  /// Force-open this port's gate for `prio` (DCFIT temporary bypass); the
+  /// downstream's next PAUSE re-closes it.
+  void force_unpause(int port, int prio);
 
  private:
   /// Upstream-side gate: blocks paused priorities until the pause expires
@@ -81,7 +98,6 @@ class PfcModule final : public LinkFcBase {
     std::array<sim::TimePs, kNumPriorities> paused_until_{};  // 0 = open
   };
 
-  void send_pause_state(int port, int prio, bool pause);
   void arm_refresh(int port, int prio);
 
   PfcConfig cfg_;

@@ -83,6 +83,8 @@ Packet* Network::clone_control(const Packet& src) {
   pkt->fc_priority = src.fc_priority;
   pkt->fc_stage = src.fc_stage;
   pkt->fc_value = src.fc_value;
+  pkt->fc_trigger_origin = src.fc_trigger_origin;
+  pkt->fc_trigger_seq = src.fc_trigger_seq;
   pkt->created_at = src.created_at;
   return pkt;
 }

@@ -71,6 +71,12 @@ struct Packet {
   std::int32_t fc_stage = 0;     // kGfcStage: stage index
   std::int64_t fc_value = 0;     // kGfcQueue: queue bytes; kCredit: FCCL blocks
 
+  /// DCFIT deadlock-detection trigger carried by kPfcPause frames (see
+  /// src/mech/dcfit.hpp): the switch that originated the trigger and its
+  /// node-local sequence number. kInvalidNode = no trigger attached.
+  std::int32_t fc_trigger_origin = kInvalidNode;
+  std::uint64_t fc_trigger_seq = 0;
+
   sim::TimePs created_at = 0;  // for latency accounting
 
   /// True for frames that bypass data queues at the egress port.

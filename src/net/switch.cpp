@@ -406,4 +406,42 @@ std::uint64_t SwitchNode::drain_egress(int egress) {
   return dropped;
 }
 
+std::uint64_t SwitchNode::drop_egress_head(int egress) {
+  ensure_tables();
+  const auto drop = [this, egress](Packet* p) {
+    network().trace_event(trace::EventType::kDrop, id(), egress, p->priority,
+                          p->id, p->size_bytes);
+    release_ingress(*p);
+    network().free_packet(p);
+  };
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    auto& q =
+        outq_[static_cast<std::size_t>(egress)][static_cast<std::size_t>(prio)];
+    if (q.empty()) continue;
+    Packet* p = q.front();
+    q.pop_front();
+    outq_bytes_[static_cast<std::size_t>(egress)]
+               [static_cast<std::size_t>(prio)] -= p->size_bytes;
+    drop(p);
+    if (arch_ == SwitchArch::kCioqRoundRobin) dispatch(egress);
+    return 1;
+  }
+  // No output-queued packet: drop an input-FIFO head wedged on this egress.
+  for (int in = 0; in < port_count(); ++in) {
+    for (int prio = 0; prio < kNumPriorities; ++prio) {
+      auto& q =
+          inq_[static_cast<std::size_t>(in)][static_cast<std::size_t>(prio)];
+      if (q.empty() || q.front()->out_port != egress) continue;
+      Packet* p = q.front();
+      q.pop_front();
+      drop(p);
+      if (!q.empty() && q.front()->out_port != egress)
+        port(q.front()->out_port).kick();
+      if (arch_ == SwitchArch::kCioqRoundRobin) dispatch(egress);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace gfc::net

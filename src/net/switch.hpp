@@ -104,6 +104,12 @@ class SwitchNode final : public Node {
   /// flow control can recover. Returns the number of packets dropped.
   std::uint64_t drain_egress(int egress);
 
+  /// Surgical deadlock break (DCFIT drop-one policy): discard only the
+  /// single next-up packet queued for `egress` — lowest non-empty priority
+  /// FIFO first, wedged input-FIFO heads as fallback — releasing its
+  /// ingress accounting. Returns the number of packets dropped (0 or 1).
+  std::uint64_t drop_egress_head(int egress);
+
  private:
   void account_enqueue(Packet& pkt, int in_port);
   /// Release (ingress port, priority) accounting and fire the flow-control

@@ -3,9 +3,12 @@
 // bounds (Theorems 4.1 / 5.1, Sec. 5.4).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "analyze/mode.hpp"
 #include "core/mapping.hpp"
@@ -24,6 +27,14 @@ enum class FcKind {
   kGfcBuffer,
   kGfcTime,
   kGfcConceptual,
+  kDcfit,  // classic PFC + DCFIT detect-and-break (src/mech/dcfit.*)
+};
+
+/// DCFIT deadlock-break policy, applied at the switch whose trigger
+/// returned (see src/mech/dcfit.hpp).
+enum class DcfitBreak {
+  kDropOne,  // drop the next-up packet of the deadlocked egress
+  kBypass,   // temporarily open the paused gate (risks lossless violations)
 };
 
 // Inline so header-only consumers (the static analyzer) need no
@@ -36,6 +47,7 @@ inline const char* fc_name(FcKind kind) {
     case FcKind::kGfcBuffer: return "GFC-buffer";
     case FcKind::kGfcTime: return "GFC-time";
     case FcKind::kGfcConceptual: return "GFC-conceptual";
+    case FcKind::kDcfit: return "DCFIT";
   }
   return "?";
 }
@@ -72,31 +84,154 @@ struct FcSetup {
   /// CBFC: extra full-credit re-advertisement period.
   sim::TimePs cbfc_sync_period = 0;
 
+  // DCFIT (kind == kDcfit): detect-and-break on top of classic PFC.
+  DcfitBreak dcfit_break = DcfitBreak::kDropOne;
+  /// Trigger-refresh cadence: outstanding pauses are re-sent with the
+  /// current trigger every period, recirculating triggers around a wedged
+  /// PFC dependency cycle until one returns home.
+  sim::TimePs dcfit_period = sim::us(20);
+
+  /// Route restriction request honored by the scenario builders (any base
+  /// mechanism): replace the scenario's routing with the up*/down* CBD-free
+  /// tables from mech::cbd_free_routes before the fabric installs it.
+  bool cbd_free_routing = false;
+
   static FcSetup none() { return FcSetup{}; }
-  static FcSetup pfc(std::int64_t xoff, std::int64_t xon);
-  static FcSetup cbfc(sim::TimePs period);
-  static FcSetup gfc_buffer(std::int64_t b1, std::int64_t bm);
-  static FcSetup gfc_time(std::int64_t b0, std::int64_t bm, sim::TimePs period);
+  static FcSetup pfc(std::int64_t xoff, std::int64_t xon) {
+    FcSetup s;
+    s.kind = FcKind::kPfc;
+    s.xoff = xoff;
+    s.xon = xon;
+    return s;
+  }
+  static FcSetup cbfc(sim::TimePs period) {
+    FcSetup s;
+    s.kind = FcKind::kCbfc;
+    s.period = period;
+    return s;
+  }
+  static FcSetup gfc_buffer(std::int64_t b1, std::int64_t bm) {
+    FcSetup s;
+    s.kind = FcKind::kGfcBuffer;
+    s.b1 = b1;
+    s.bm = bm;
+    return s;
+  }
+  static FcSetup gfc_time(std::int64_t b0, std::int64_t bm,
+                          sim::TimePs period) {
+    FcSetup s;
+    s.kind = FcKind::kGfcTime;
+    s.b0 = b0;
+    s.bm = bm;
+    s.period = period;
+    return s;
+  }
   static FcSetup gfc_conceptual(std::int64_t b0, std::int64_t bm,
-                                std::int64_t min_delta = 512);
+                                std::int64_t min_delta = 512) {
+    FcSetup s;
+    s.kind = FcKind::kGfcConceptual;
+    s.b0 = b0;
+    s.bm = bm;
+    s.conceptual_min_delta = min_delta;
+    return s;
+  }
+  static FcSetup dcfit(std::int64_t xoff, std::int64_t xon,
+                       DcfitBreak brk = DcfitBreak::kDropOne) {
+    FcSetup s = pfc(xoff, xon);
+    s.kind = FcKind::kDcfit;
+    s.dcfit_break = brk;
+    return s;
+  }
 
   /// Derive paper-compliant parameters from the buffer size, link rate and
   /// worst-case tau: PFC gets XOFF = buffer - C*tau headroom (XON 2 MTU
   /// lower), CBFC the recommended 65535 B period, buffer-based GFC
-  /// B_1 = B_m - 2*C*tau, time-based GFC B_0 from Theorem 5.1.
+  /// B_1 = B_m - 2*C*tau, time-based GFC B_0 from Theorem 5.1. DCFIT uses
+  /// the PFC thresholds (its triggers ride on the PAUSE frames).
   /// Asserts the buffer admits a positive threshold (use try_derive when
   /// sweeping buffers that may be too small for the given tau).
+  /// Defined inline so header-only consumers (the static analyzer, the
+  /// src/mech registry) need no gfc_runner symbols.
   static FcSetup derive(FcKind kind, std::int64_t buffer, sim::Rate c,
                         sim::TimePs tau, std::int64_t mtu = 1500);
 
   /// Like derive(), but returns nullopt when the Theorem 4.1 / 5.1 / B_1
   /// bound (with derive()'s packet-granularity slack) leaves no positive
   /// threshold — i.e. the buffer is too small to run that GFC variant
-  /// safely at this rate and tau. PFC/CBFC/none are always derivable.
+  /// safely at this rate and tau. PFC/CBFC/DCFIT/none are always derivable.
   static std::optional<FcSetup> try_derive(FcKind kind, std::int64_t buffer,
                                            sim::Rate c, sim::TimePs tau,
                                            std::int64_t mtu = 1500);
 };
+
+namespace detail {
+/// (setup, feasible): the setup is always populated — derive() hands it
+/// out even when the bound is violated (assert-guarded), matching the
+/// "check against a deliberately out-of-bound parameter" uses; try_derive
+/// turns infeasible into nullopt.
+inline std::pair<FcSetup, bool> derive_fc(FcKind kind, std::int64_t buffer,
+                                          sim::Rate c, sim::TimePs tau,
+                                          std::int64_t mtu) {
+  switch (kind) {
+    case FcKind::kNone:
+      return {FcSetup::none(), true};
+    case FcKind::kPfc:
+    case FcKind::kDcfit: {
+      // C*tau of in-flight absorption plus packet-granularity slack: one
+      // MTU already serializing when the PAUSE is triggered, one more that
+      // may start before it lands, and the pause frame itself.
+      const std::int64_t headroom =
+          core::bytes_over(c, tau) + 2 * mtu + 2 * net::kControlFrameBytes;
+      const std::int64_t xoff =
+          std::max<std::int64_t>(buffer - headroom, 2 * mtu + 1);
+      FcSetup s =
+          FcSetup::pfc(xoff, std::max<std::int64_t>(xoff - 2 * mtu, 1));
+      s.kind = kind;
+      return {s, true};
+    }
+    case FcKind::kCbfc:
+      return {FcSetup::cbfc(core::cbfc_recommended_period(c)), true};
+    case FcKind::kGfcBuffer: {
+      // The paper's bounds are fluid-model ("B_m can be set equal to B");
+      // packets are not fluid, and the rate floor means a saturated queue
+      // can creep past B_m slowly, so leave a few MTUs of slack.
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b1 = core::b1_bound_buffer(bm, c, tau) - 2 * mtu;
+      return {FcSetup::gfc_buffer(b1, bm), b1 > 0};
+    }
+    case FcKind::kGfcTime: {
+      const sim::TimePs period = core::cbfc_recommended_period(c);
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b0 =
+          core::b0_bound_timebased(bm, c, tau, period) - 2 * mtu;
+      return {FcSetup::gfc_time(b0, bm, period), b0 > 0};
+    }
+    case FcKind::kGfcConceptual: {
+      const std::int64_t bm = buffer - 4 * mtu;
+      const std::int64_t b0 = core::b0_bound_conceptual(bm, c, tau) - 2 * mtu;
+      return {FcSetup::gfc_conceptual(b0, bm), b0 > 0};
+    }
+  }
+  return {FcSetup::none(), true};
+}
+}  // namespace detail
+
+inline FcSetup FcSetup::derive(FcKind kind, std::int64_t buffer, sim::Rate c,
+                               sim::TimePs tau, std::int64_t mtu) {
+  const auto [setup, feasible] = detail::derive_fc(kind, buffer, c, tau, mtu);
+  assert(feasible && "buffer too small for this kind's safety bound");
+  (void)feasible;
+  return setup;
+}
+
+inline std::optional<FcSetup> FcSetup::try_derive(FcKind kind,
+                                                  std::int64_t buffer,
+                                                  sim::Rate c, sim::TimePs tau,
+                                                  std::int64_t mtu) {
+  const auto [setup, feasible] = detail::derive_fc(kind, buffer, c, tau, mtu);
+  if (!feasible) return std::nullopt;
+  return setup;
+}
 
 struct ScenarioConfig {
   LinkConfig link;

@@ -8,6 +8,7 @@
 #include "core/gfc_time.hpp"
 #include "flowctl/cbfc.hpp"
 #include "flowctl/pfc.hpp"
+#include "mech/dcfit.hpp"
 
 namespace gfc::runner {
 
@@ -19,6 +20,13 @@ std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg) {
     case FcKind::kPfc:
       return std::make_unique<flowctl::PfcModule>(
           flowctl::PfcConfig{fc.xoff, fc.xon, fc.pfc_pause_timeout});
+    case FcKind::kDcfit:
+      // Classic PFC (indefinite pauses — pause_timeout stays 0 so the
+      // deadlocks DCFIT exists to break can actually form) plus the
+      // trigger machinery.
+      return std::make_unique<mech::DcfitModule>(mech::DcfitConfig{
+          flowctl::PfcConfig{fc.xoff, fc.xon, 0}, fc.dcfit_break,
+          fc.dcfit_period});
     case FcKind::kCbfc: {
       flowctl::CbfcConfig c;
       c.period = fc.period;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "mech/dcfit.hpp"
 #include "stats/flow_stats.hpp"
 #include "stats/throughput.hpp"
 #include "workload/generator.hpp"
@@ -13,7 +14,13 @@ RingScenario make_ring(const ScenarioConfig& cfg, int n_switches, int hops) {
   RingScenario s;
   s.info = topo::build_ring(s.topo, n_switches);
   s.fabric = std::make_unique<Fabric>(s.topo, cfg);
-  s.fabric->install_routing(s.topo, topo::ring_clockwise_routes(s.topo, s.info));
+  // The clockwise pinning *is* the Figure 1 deadlock; a CBD-free request
+  // replaces it with up*/down* tables (which dissolve the cycle — and the
+  // scenario's point — by letting flows take the short way around).
+  s.fabric->install_routing(
+      s.topo, cfg.fc.cbd_free_routing
+                  ? mech::cbd_free_routes(s.topo, &s.route_stats)
+                  : topo::ring_clockwise_routes(s.topo, s.info));
   for (int i = 0; i < n_switches; ++i) {
     const net::NodeId src = s.info.hosts[static_cast<std::size_t>(i)];
     const net::NodeId dst =
@@ -30,7 +37,10 @@ IncastScenario make_incast(const ScenarioConfig& cfg, int n_senders,
   IncastScenario s;
   s.info = topo::build_dumbbell(s.topo, n_senders);
   s.fabric = std::make_unique<Fabric>(s.topo, cfg);
-  s.fabric->install_routing(s.topo, topo::compute_shortest_paths(s.topo));
+  s.fabric->install_routing(
+      s.topo, cfg.fc.cbd_free_routing
+                  ? mech::cbd_free_routes(s.topo, &s.route_stats)
+                  : topo::compute_shortest_paths(s.topo));
   for (topo::NodeIndex h : s.info.senders) {
     s.flows.push_back(
         s.fabric->net().create_flow(h, s.info.receiver, 0, flow_size, 0).id);
@@ -44,7 +54,9 @@ FatTreeScenario make_fattree(const ScenarioConfig& cfg, int k,
   s.info = topo::build_fattree(s.topo, k);
   for (topo::LinkIndex l : failures) s.topo.fail_link(l);
   s.failed_links = failures;
-  s.routing = topo::compute_shortest_paths(s.topo);
+  s.routing = cfg.fc.cbd_free_routing
+                  ? mech::cbd_free_routes(s.topo, &s.route_stats)
+                  : topo::compute_shortest_paths(s.topo);
   s.cbd_prone = topo::cbd_prone(s.topo, s.routing);
   s.fabric = std::make_unique<Fabric>(s.topo, cfg);
   s.fabric->install_routing(s.topo, s.routing);
@@ -57,7 +69,9 @@ FatTreeScenario make_random_fattree(const ScenarioConfig& cfg, int k,
   s.info = topo::build_fattree(s.topo, k);
   sim::Rng rng(topo_seed);
   s.failed_links = topo::random_failures(s.topo, rng, fail_prob);
-  s.routing = topo::compute_shortest_paths(s.topo);
+  s.routing = cfg.fc.cbd_free_routing
+                  ? mech::cbd_free_routes(s.topo, &s.route_stats)
+                  : topo::compute_shortest_paths(s.topo);
   s.cbd_prone = topo::cbd_prone(s.topo, s.routing);
   s.fabric = std::make_unique<Fabric>(s.topo, cfg);
   s.fabric->install_routing(s.topo, s.routing);
@@ -132,6 +146,12 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
   out.flows_completed = net.counters().flows_completed;
   out.flows_started = gen.flows_started();
   out.lossless_violations = net.counters().lossless_violations;
+  const mech::DcfitTotals dcfit = mech::collect_dcfit(net);
+  out.mech_detections = dcfit.detections;
+  out.mech_false_positives = dcfit.false_positives;
+  out.mech_packets_sacrificed = dcfit.packets_sacrificed;
+  out.mech_bypasses = dcfit.bypasses;
+  out.mech_first_detection_latency = dcfit.first_detection_latency;
   return out;
 }
 

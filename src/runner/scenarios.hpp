@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "mech/cbd_routing.hpp"
 #include "runner/fabric.hpp"
 #include "stats/deadlock.hpp"
 #include "topo/builders.hpp"
@@ -25,6 +26,8 @@ struct RingScenario {
   topo::RingInfo info;
   std::unique_ptr<Fabric> fabric;
   std::vector<net::FlowId> flows;
+  /// Filled when cfg.fc.cbd_free_routing replaced the clockwise routing.
+  mech::RoutingStats route_stats;
 };
 RingScenario make_ring(const ScenarioConfig& cfg, int n_switches = 3,
                        int hops = 2);
@@ -36,6 +39,8 @@ struct IncastScenario {
   topo::DumbbellInfo info;
   std::unique_ptr<Fabric> fabric;
   std::vector<net::FlowId> flows;
+  /// Filled when cfg.fc.cbd_free_routing replaced the shortest paths.
+  mech::RoutingStats route_stats;
 };
 IncastScenario make_incast(const ScenarioConfig& cfg, int n_senders,
                            std::int64_t flow_size = net::Flow::kUnbounded);
@@ -48,6 +53,8 @@ struct FatTreeScenario {
   std::vector<topo::LinkIndex> failed_links;
   bool cbd_prone = false;
   std::unique_ptr<Fabric> fabric;
+  /// Filled when cfg.fc.cbd_free_routing replaced the shortest paths.
+  mech::RoutingStats route_stats;
 };
 FatTreeScenario make_fattree(const ScenarioConfig& cfg, int k,
                              const std::vector<topo::LinkIndex>& failures = {});
@@ -74,6 +81,13 @@ struct RunSummary {
   int deadlock_detections = 0;
   int deadlock_recoveries = 0;
   std::uint64_t recovered_packets = 0;
+  // DCFIT in-band detection accounting (nonzero only under FcKind::kDcfit;
+  // see mech::collect_dcfit):
+  int mech_detections = 0;
+  int mech_false_positives = 0;
+  std::uint64_t mech_packets_sacrificed = 0;
+  int mech_bypasses = 0;
+  sim::TimePs mech_first_detection_latency = -1;
 };
 struct RunOptions {
   sim::TimePs duration = sim::ms(20);

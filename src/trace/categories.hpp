@@ -23,10 +23,11 @@ enum Category : std::uint32_t {
   kCatSched = 1u << 5,     // egress-port wake-timer arm / cancel / fire
   kCatDeadlock = 1u << 6,  // deadlock detection and recovery
   kCatFlow = 1u << 7,      // flow start / completion, host deliveries
-  kCatAll = 0xFFu,
+  kCatMech = 1u << 8,      // mechanism baselines: DCFIT triggers and breaks
+  kCatAll = 0x1FFu,
 };
 
-inline constexpr int kNumCategories = 8;
+inline constexpr int kNumCategories = 9;
 
 enum class EventType : std::uint8_t {
   // kCatPort
@@ -65,6 +66,11 @@ enum class EventType : std::uint8_t {
   kFlowStart,
   kFlowComplete,
   kDeliver,  // data packet delivered at a host (value = bytes, id = flow)
+  // kCatMech (DCFIT, src/mech/dcfit.*)
+  kTriggerOriginate,  // fresh trigger attached to a PAUSE (id = trigger seq)
+  kTriggerPropagate,  // upstream trigger forwarded (value = origin node)
+  kTriggerReturn,     // own trigger came back: deadlock (value = latency ps)
+  kMechBreak,         // break action taken (value = packets dropped; 0=bypass)
 
   kNumEventTypes,  // sentinel
 };
@@ -103,6 +109,11 @@ constexpr Category category_of(EventType t) {
     case EventType::kDeadlockDetect:
     case EventType::kDeadlockRecover:
       return kCatDeadlock;
+    case EventType::kTriggerOriginate:
+    case EventType::kTriggerPropagate:
+    case EventType::kTriggerReturn:
+    case EventType::kMechBreak:
+      return kCatMech;
     default:
       return kCatFlow;
   }

@@ -17,7 +17,8 @@ constexpr std::array<const char*, static_cast<int>(EventType::kNumEventTypes)>
         "qsample_rx",      "rate_set",         "wake_arm",
         "wake_cancel",     "wake_fire",        "deadlock_detect",
         "deadlock_recover", "flow_start",      "flow_complete",
-        "deliver",
+        "deliver",          "trigger_originate", "trigger_propagate",
+        "trigger_return",  "mech_break",
 };
 
 struct CategoryName {
@@ -33,6 +34,7 @@ constexpr std::array<CategoryName, kNumCategories> kCategoryNames = {{
     {kCatSched, "sched"},
     {kCatDeadlock, "deadlock"},
     {kCatFlow, "flow"},
+    {kCatMech, "mech"},
 }};
 
 }  // namespace

@@ -18,8 +18,12 @@
 //   loop2               2-switch routing loop (the minimal lint fixture)
 //
 // Options:
-//   --fc NAME        none|pfc|cbfc|gfc-buffer|gfc-time|gfc-conceptual
+//   --fc NAME        none|pfc|cbfc|gfc-buffer|gfc-time|gfc-conceptual|dcfit
 //                    (default pfc)
+//   --cbd-free-routing
+//                    replace the scenario's routing with the up*/down*
+//                    CBD-free tables (src/mech/cbd_routing) before analysis
+//   --list-scenarios print the scenario grammar and exit
 //   --buffer BYTES   per-port buffer B_m (default 300000)
 //   --b1/--b0/--bm/--xoff/--xon BYTES, --period-us T
 //                    explicit mechanism parameters; omitted ones are
@@ -37,6 +41,7 @@
 
 #include "analyze/analyze.hpp"
 #include "analyze/scenario.hpp"
+#include "mech/cbd_routing.hpp"
 
 using namespace gfc;
 
@@ -48,10 +53,31 @@ int usage(const char* prog) {
       "usage: %s SCENARIO [--fc NAME] [--buffer BYTES]\n"
       "          [--b1 B] [--b0 B] [--bm B] [--xoff B] [--xon B]\n"
       "          [--period-us T] [--max-cycles N] [--json PATH] [--fail]\n"
+      "          [--cbd-free-routing]\n"
       "SCENARIO: ring[:N[:H]] | fattree:K[:seed=S|:fail=a,b] | incast:N |"
-      " loop2\n",
-      prog);
+      " loop2\n"
+      "          (%s --list-scenarios for details)\n",
+      prog, prog);
   return 2;
+}
+
+int list_scenarios() {
+  std::fputs(
+      "gfc-analyze scenarios (SCENARIO argument grammar):\n"
+      "  ring              3-switch ring, flows i -> i+2 (Figure 1)\n"
+      "  ring:N            N-switch ring, flows i -> i+2\n"
+      "  ring:N:H          N-switch ring, flows i -> i+H clockwise\n"
+      "  fattree:K         k-ary fat-tree, shortest-path ECMP, no failures\n"
+      "  fattree:K:seed=S  + Table 1 recipe: 5%% random switch-link failures\n"
+      "                    from the k-salted seed stream, CBD stress flows\n"
+      "                    when the failure set admits them\n"
+      "  fattree:K:fail=a,b,...\n"
+      "                    + fail the a-th, b-th, ... switch-to-switch link\n"
+      "                    (indices into the deterministic switch-link list)\n"
+      "  incast:N          N senders, 1 receiver, 1 switch dumbbell\n"
+      "  loop2             2-switch routing loop (minimal lint fixture)\n",
+      stdout);
+  return 0;
 }
 
 bool parse_fc_kind(const std::string& name, runner::FcKind* out) {
@@ -61,6 +87,7 @@ bool parse_fc_kind(const std::string& name, runner::FcKind* out) {
   else if (name == "gfc-buffer") *out = runner::FcKind::kGfcBuffer;
   else if (name == "gfc-time") *out = runner::FcKind::kGfcTime;
   else if (name == "gfc-conceptual") *out = runner::FcKind::kGfcConceptual;
+  else if (name == "dcfit") *out = runner::FcKind::kDcfit;
   else return false;
   return true;
 }
@@ -70,6 +97,7 @@ bool parse_fc_kind(const std::string& name, runner::FcKind* out) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string spec = argv[1];
+  if (spec == "--list-scenarios") return list_scenarios();
 
   runner::FcKind kind = runner::FcKind::kPfc;
   std::int64_t buffer = 300'000;
@@ -78,6 +106,7 @@ int main(int argc, char** argv) {
   std::size_t max_cycles = 4096;
   std::string json_path;
   bool fail_on_risk = false;
+  bool cbd_free = false;
 
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
@@ -113,6 +142,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (!std::strcmp(a, "--fail")) {
       fail_on_risk = true;
+    } else if (!std::strcmp(a, "--cbd-free-routing")) {
+      cbd_free = true;
+    } else if (!std::strcmp(a, "--list-scenarios")) {
+      return list_scenarios();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       return usage(argv[0]);
@@ -122,8 +155,22 @@ int main(int argc, char** argv) {
   analyze::BuiltScenario scenario;
   std::string err;
   if (!analyze::build_scenario(spec, &scenario, &err)) {
-    std::fprintf(stderr, "%s\n", err.c_str());
+    std::fprintf(stderr, "%s\n(%s --list-scenarios shows the grammar)\n",
+                 err.c_str(), argv[0]);
     return 2;
+  }
+
+  if (cbd_free) {
+    // Re-route before analysis: the verdict then reflects the restricted
+    // tables (expected: zero CBD cycles on any topology).
+    mech::RoutingStats rstats;
+    scenario.routing = mech::cbd_free_routes(scenario.topo, &rstats);
+    std::fprintf(stderr,
+                 "cbd-free routing installed: cbd_free=%s pairs=%zu "
+                 "unroutable=%zu stretch avg=%.3f max=%.3f imbalance=%.3f\n",
+                 rstats.cbd_free ? "yes" : "NO", rstats.pairs,
+                 rstats.unroutable_pairs, rstats.avg_stretch,
+                 rstats.max_stretch, rstats.load_imbalance);
   }
 
   runner::ScenarioConfig cfg;
