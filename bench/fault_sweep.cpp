@@ -346,7 +346,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
+  const exp::CampaignResult result = exp::run_campaign_cli(campaign, cli);
 
   // --- report -------------------------------------------------------------
   std::printf("\n(1) goodput under unblock-frame loss (RESUME / credit / "
@@ -368,7 +368,7 @@ int main(int argc, char** argv) {
         std::snprintf(dbuf, sizeof(dbuf), "%g", d);
         const exp::TrialRecord* t = result.find(
             "loss/" + std::string(tname) + "/" + m.name + "/drop" + dbuf);
-        if (!t || t->failed) {
+        if (!t || !t->ok()) {
           std::printf("  %18s", "FAILED");
           continue;
         }
@@ -388,7 +388,7 @@ int main(int argc, char** argv) {
   for (const MechSpec& m : {mechs[0], mechs[2]}) {
     const exp::TrialRecord* t =
         result.find("recovery/ring/" + std::string(m.name));
-    if (!t || t->failed) continue;
+    if (!t || !t->ok()) continue;
     std::printf("  %-12s %10lld %10lld %16lld %10.2f\n", m.name.c_str(),
                 static_cast<long long>(t->metrics.find("detections")->as_int()),
                 static_cast<long long>(t->metrics.find("recoveries")->as_int()),
@@ -403,7 +403,7 @@ int main(int argc, char** argv) {
   for (const MechSpec& m : {mechs[1], mechs[4]}) {
     const exp::TrialRecord* t =
         result.find("flap/fattree-k4/" + std::string(m.name));
-    if (!t || t->failed) continue;
+    if (!t || !t->ok()) continue;
     std::printf(
         "  %-12s %8.2f %10lld %10lld %10lld %3d/%-2d\n", m.name.c_str(),
         t->metrics.find("gbps")->as_double(),
@@ -427,7 +427,7 @@ int main(int argc, char** argv) {
     for (const MechSpec& m : mechs) {
       const exp::TrialRecord* t = result.find(
           "matrix/" + std::string(ring ? "ring" : "incast") + "/" + m.name);
-      if (!t || t->failed) {
+      if (!t || !t->ok()) {
         std::printf("  %-15s %s\n", m.name.c_str(), "FAILED");
         continue;
       }
@@ -464,5 +464,5 @@ int main(int argc, char** argv) {
               "keeps traffic moving at a packet cost, CBD-routing and GFC "
               "never deadlock.\n");
 
-  return exp::finish_cli(cli, result) ? 0 : 1;
+  return exp::finish_cli(cli, result);
 }

@@ -179,13 +179,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
-  for (const auto& t : result.trials)
-    if (t.failed) {
-      std::fprintf(stderr, "trial %s failed: %s\n", t.name.c_str(),
-                   t.error.c_str());
-      return 1;
-    }
+  const exp::CampaignResult result = exp::run_campaign_cli(campaign, cli);
 
   // --- report, byte-identical to the historical sequential output --------
   const std::size_t nfree = free_seeds.size();
@@ -197,6 +191,9 @@ int main(int argc, char** argv) {
   for (int m = 0; m < 4; ++m) {
     Agg agg;
     for (std::size_t i = 0; i < nfree; ++i) {
+      // Failed / timed-out / shard-skipped trials drop out of the average;
+      // finish_cli reports them on stderr and in the exit status.
+      if (!result.trials[m * nfree + i].ok()) continue;
       const auto& mt = result.trials[m * nfree + i].metrics;
       agg.add(mt.find("deadlocked")->as_bool(),
               mt.find("per_host_gbps")->as_double(),
@@ -216,6 +213,7 @@ int main(int argc, char** argv) {
     double bw_sum = 0;
     int n = 0, deadlocks = 0;
     for (std::size_t i = 0; i < prone.size(); ++i) {
+      if (!result.trials[b_base + m * prone.size() + i].ok()) continue;
       const auto& mt = result.trials[b_base + m * prone.size() + i].metrics;
       if (mt.find("deadlocked")->as_bool()) ++deadlocks;
       bw_sum += mt.find("per_host_gbps")->as_double();
@@ -231,5 +229,5 @@ int main(int argc, char** argv) {
               "deadlocks, but crawls at the\nrate floor while the probe "
               "lasts (rates never reach zero; see EXPERIMENTS.md).\n");
 
-  return exp::finish_cli(cli, result) ? 0 : 1;
+  return exp::finish_cli(cli, result);
 }

@@ -124,12 +124,12 @@ int main(int argc, char** argv) {
     });
   }
 
-  const exp::CampaignResult result = exp::run_campaign(campaign, cli.pool());
+  const exp::CampaignResult result = exp::run_campaign_cli(campaign, cli);
 
   result.print_report();
   int feasible = 0, unsafe = 0, failed = 0;
   for (const auto& t : result.trials) {
-    if (t.failed) {
+    if (!t.ok()) {
       ++failed;
       continue;
     }
@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
               "deadlock-free, loss-free,\nwith the queue inside the buffer "
               "-- 'unsafe' must be 0.\n");
 
-  if (!exp::finish_cli(cli, result)) return 1;
-  return (unsafe == 0 && failed == 0) ? 0 : 1;
+  const int status = exp::finish_cli(cli, result);
+  if (unsafe != 0 || result.failures() > 0) return 1;
+  return status;
 }

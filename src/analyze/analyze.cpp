@@ -320,6 +320,20 @@ Report analyze(const Input& in) {
   return rep;
 }
 
+CbdScreen screen_cbd(const topo::Topology& topo,
+                     const topo::RoutingTable& routing) {
+  topo::BufferDependencyGraph g(topo);
+  g.add_routing_closure(routing);
+  const topo::CbdResult r = g.find_cycle();
+  CbdScreen out;
+  out.prone = r.has_cbd;
+  if (r.has_cbd) {
+    out.cycle = r.cycle;
+    out.witness = topo::describe_links(topo, r.cycle);
+  }
+  return out;
+}
+
 Verdict preflight(PreflightMode mode, const topo::Topology& topo,
                   const topo::RoutingTable& routing,
                   const runner::ScenarioConfig& cfg,

@@ -139,6 +139,23 @@ struct Report {
 
 Report analyze(const Input& in);
 
+/// Cheap CBD-prone screening over the full ECMP routing closure — the
+/// pre-filter large topology sweeps (paper-scale Table 1) run per sample
+/// before deciding whether to spend a simulation on it. One witness-cycle
+/// DFS, no Johnson enumeration, no bound checks: O(V + E) in the
+/// buffer-dependency graph versus a full analyze() pass.
+struct CbdScreen {
+  bool prone = false;
+  /// Canonical witness cycle (empty when !prone).
+  std::vector<topo::DirectedLink> cycle;
+  /// The witness rendered with topology names ("S0->S1 -> ..."), for
+  /// bench logs; empty when !prone.
+  std::string witness;
+};
+
+CbdScreen screen_cbd(const topo::Topology& topo,
+                     const topo::RoutingTable& routing);
+
 /// Thrown by preflight() in PreflightMode::kFail when the verdict is
 /// kAtRisk (worker pools capture it as the trial's failure text).
 class PreflightError : public std::runtime_error {

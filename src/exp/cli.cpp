@@ -1,8 +1,11 @@
 #include "exp/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+
+#include "exp/journal.hpp"
 
 namespace gfc::exp {
 
@@ -11,11 +14,86 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog, const char* bad) {
   std::fprintf(stderr, "unknown or incomplete argument: %s\n", bad);
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--seed N] [--json PATH] "
-               "[--timing] [--no-progress] [--analyze[=fail]] [--trace] "
-               "[--trace-out DIR] [--trace-categories LIST]\n",
+               "usage: %s [--quick] [--jobs N] [--seed N] [--scale F] "
+               "[--json PATH] [--timing] [--no-progress] [--analyze[=fail]] "
+               "[--trace] [--trace-out DIR] [--trace-categories LIST] "
+               "[--resume PATH]... [--journal PATH] [--trial-timeout SECS] "
+               "[--retries N] [--shard I/N] [--wedge TRIAL]\n",
                prog);
   std::exit(2);
+}
+
+/// Strict numeric parsing: the whole value must be consumed, no silent
+/// atoi-style "abc -> 0". `flag` names the offender in the usage message.
+long long parse_ll(const char* prog, const char* flag, const char* text,
+                   long long min_value, long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min_value ||
+      v > max_value) {
+    std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got '%s'\n",
+                 flag, min_value, max_value, text);
+    usage_and_exit(prog, flag);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* prog, const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || *text == '-') {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, text);
+    usage_and_exit(prog, flag);
+  }
+  return v;
+}
+
+double parse_positive_double(const char* prog, const char* flag,
+                             const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0)) {
+    std::fprintf(stderr, "%s: expected a positive number, got '%s'\n", flag,
+                 text);
+    usage_and_exit(prog, flag);
+  }
+  return v;
+}
+
+/// "--shard I/N": 0 <= I < N, N > 0.
+void parse_shard(const char* prog, const char* text, CliOptions* opts) {
+  const char* slash = std::strchr(text, '/');
+  if (slash == nullptr || slash == text || slash[1] == '\0') {
+    std::fprintf(stderr, "--shard: expected I/N (e.g. 0/4), got '%s'\n", text);
+    usage_and_exit(prog, "--shard");
+  }
+  const std::string i_part(text, slash);
+  const long long i = parse_ll(prog, "--shard", i_part.c_str(), 0, 1 << 20);
+  const long long c = parse_ll(prog, "--shard", slash + 1, 1, 1 << 20);
+  if (i >= c) {
+    std::fprintf(stderr, "--shard: index %lld out of range for %lld shards\n",
+                 i, c);
+    usage_and_exit(prog, "--shard");
+  }
+  opts->shard_index = static_cast<int>(i);
+  opts->shard_count = static_cast<int>(c);
+}
+
+/// Flag value for `--flag VALUE` or `--flag=VALUE`; advances *i for the
+/// two-token form. Null when `a` is not this flag at all.
+const char* flag_value(const char* prog, const char* flag, int argc,
+                       char** argv, int* i) {
+  const char* a = argv[*i];
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(a, flag, len) != 0) return nullptr;
+  if (a[len] == '=') return a + len + 1;
+  if (a[len] != '\0') return nullptr;  // prefix of a longer flag
+  if (*i + 1 >= argc) usage_and_exit(prog, a);
+  return argv[++*i];
 }
 
 }  // namespace
@@ -24,27 +102,35 @@ CliOptions parse_cli(int argc, char** argv) {
   CliOptions opts;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
+    const char* v = nullptr;
     if (!std::strcmp(a, "--quick")) {
       opts.quick = true;
     } else if (!std::strcmp(a, "--timing")) {
       opts.timing = true;
     } else if (!std::strcmp(a, "--no-progress")) {
       opts.progress = false;
-    } else if (!std::strcmp(a, "--jobs")) {
-      if (i + 1 >= argc) usage_and_exit(argv[0], a);
-      opts.jobs = std::atoi(argv[++i]);
-    } else if (!std::strncmp(a, "--jobs=", 7)) {
-      opts.jobs = std::atoi(a + 7);
-    } else if (!std::strcmp(a, "--seed")) {
-      if (i + 1 >= argc) usage_and_exit(argv[0], a);
-      opts.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strncmp(a, "--seed=", 7)) {
-      opts.seed = std::strtoull(a + 7, nullptr, 10);
-    } else if (!std::strcmp(a, "--json")) {
-      if (i + 1 >= argc) usage_and_exit(argv[0], a);
-      opts.json_path = argv[++i];
-    } else if (!std::strncmp(a, "--json=", 7)) {
-      opts.json_path = a + 7;
+    } else if ((v = flag_value(argv[0], "--jobs", argc, argv, &i))) {
+      opts.jobs = static_cast<int>(parse_ll(argv[0], "--jobs", v, 0, 4096));
+    } else if ((v = flag_value(argv[0], "--seed", argc, argv, &i))) {
+      opts.seed = parse_u64(argv[0], "--seed", v);
+    } else if ((v = flag_value(argv[0], "--scale", argc, argv, &i))) {
+      opts.scale = parse_positive_double(argv[0], "--scale", v);
+    } else if ((v = flag_value(argv[0], "--json", argc, argv, &i))) {
+      opts.json_path = v;
+    } else if ((v = flag_value(argv[0], "--resume", argc, argv, &i))) {
+      opts.resume_paths.emplace_back(v);
+    } else if ((v = flag_value(argv[0], "--journal", argc, argv, &i))) {
+      opts.journal_path = v;
+    } else if ((v = flag_value(argv[0], "--trial-timeout", argc, argv, &i))) {
+      opts.trial_timeout_s =
+          parse_positive_double(argv[0], "--trial-timeout", v);
+    } else if ((v = flag_value(argv[0], "--retries", argc, argv, &i))) {
+      opts.retries =
+          static_cast<int>(parse_ll(argv[0], "--retries", v, 0, 1000));
+    } else if ((v = flag_value(argv[0], "--shard", argc, argv, &i))) {
+      parse_shard(argv[0], v, &opts);
+    } else if ((v = flag_value(argv[0], "--wedge", argc, argv, &i))) {
+      opts.wedge_trial = v;
     } else if (!std::strcmp(a, "--analyze")) {
       opts.preflight = analyze::PreflightMode::kWarn;
     } else if (!std::strcmp(a, "--analyze=fail")) {
@@ -53,22 +139,12 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.preflight = analyze::PreflightMode::kWarn;
     } else if (!std::strcmp(a, "--trace")) {
       opts.trace = true;
-    } else if (!std::strcmp(a, "--trace-out")) {
-      if (i + 1 >= argc) usage_and_exit(argv[0], a);
-      opts.trace_out = argv[++i];
-    } else if (!std::strncmp(a, "--trace-out=", 12)) {
-      opts.trace_out = a + 12;
-    } else if (!std::strcmp(a, "--trace-categories") ||
-               !std::strncmp(a, "--trace-categories=", 19)) {
-      std::string spec;
-      if (a[18] == '=') {
-        spec = a + 19;
-      } else {
-        if (i + 1 >= argc) usage_and_exit(argv[0], a);
-        spec = argv[++i];
-      }
+    } else if ((v = flag_value(argv[0], "--trace-out", argc, argv, &i))) {
+      opts.trace_out = v;
+    } else if ((v = flag_value(argv[0], "--trace-categories", argc, argv,
+                               &i))) {
       std::string err;
-      opts.trace_categories = trace::parse_categories(spec, &err);
+      opts.trace_categories = trace::parse_categories(v, &err);
       if (opts.trace_categories == 0) {
         std::fprintf(stderr, "%s\n", err.empty() ? "empty category list"
                                                  : err.c_str());
@@ -90,23 +166,42 @@ CliOptions parse_cli(int argc, char** argv) {
   return opts;
 }
 
-bool finish_cli(const CliOptions& opts, const CampaignResult& result) {
-  bool ok = true;
-  for (const auto& t : result.trials)
+CampaignResult run_campaign_cli(const Campaign& campaign,
+                                const CliOptions& opts) {
+  try {
+    return run_campaign(campaign, opts.pool());
+  } catch (const JournalError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+int finish_cli(const CliOptions& opts, const CampaignResult& result) {
+  int status = 0;
+  for (const auto& t : result.trials) {
     if (t.failed) {
       std::fprintf(stderr, "trial %s failed: %s\n", t.name.c_str(),
                    t.error.c_str());
-      ok = false;
+      status = 1;
+    } else if (t.timed_out) {
+      std::fprintf(stderr, "trial %s TIMED OUT: %s\n", t.name.c_str(),
+                   t.error.c_str());
+      if (status == 0) status = 3;
     }
-  if (opts.json_path.empty()) return ok;
+  }
+  if (opts.json_path.empty()) return status;
   if (!result.write_json(opts.json_path, opts.timing)) {
     std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
-    return false;
+    return 1;
   }
-  std::fprintf(stderr, "wrote %s (%zu trials, %zu failed)\n",
+  const std::size_t skipped = result.skipped();
+  std::fprintf(stderr, "wrote %s (%zu trials, %zu failed, %zu timed out",
                opts.json_path.c_str(), result.trials.size(),
-               result.failures());
-  return ok;
+               result.failures(), result.timeouts());
+  if (skipped > 0)
+    std::fprintf(stderr, ", %zu skipped by --shard", skipped);
+  std::fprintf(stderr, ")\n");
+  return status;
 }
 
 }  // namespace gfc::exp

@@ -2,6 +2,8 @@
 //   --jobs N      worker threads (0 = all cores)        [default 1]
 //   --quick       shrunken sweep for smoke runs
 //   --seed N      offset added to every trial's RNG seeds [default 0]
+//   --scale F     sweep-size multiplier for the scaling benches (table1
+//                 topology counts)                      [default 1]
 //   --json PATH   write the campaign's JSON results to PATH
 //   --timing      include wall-clock metadata in the JSON
 //   --no-progress suppress the live progress/ETA line
@@ -11,9 +13,25 @@
 //                         deadlock,flow) or "all"       [default all]
 //   --analyze[=fail]      static pre-flight deadlock-risk analysis per
 //                         fabric: warn on stderr, or fail the trial
+// Crash-safe campaign execution (see exp/journal.hpp, exp/worker_pool.hpp):
+//   --resume PATH         journal-backed run: load PATH if it exists
+//                         (skipping completed trials), append each newly
+//                         completed trial to it. Repeatable — extra paths
+//                         are load-only, e.g. merging shard journals.
+//   --journal PATH        write the journal here instead of the first
+//                         --resume path (or with no --resume at all)
+//   --trial-timeout SECS  watchdog: cancel a trial attempt after SECS
+//                         wall-clock seconds, record it as timed_out
+//   --retries N           re-run a timed-out trial up to N extra times
+//                         (same seed) before recording the timeout
+//   --shard I/N           run only shard I of N (contiguous trial-id
+//                         ranges); merge the shards' journals afterwards
+//   --wedge TRIAL         testing hook: replace TRIAL's body with an
+//                         infinite heartbeat loop (watchdog smoke tests)
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "analyze/mode.hpp"
 #include "exp/worker_pool.hpp"
@@ -30,7 +48,19 @@ struct CliOptions {
   /// (sim, workload and fault streams) and stamp it into Campaign::seed.
   /// Zero — the default — reproduces the historical fixed-seed outputs.
   std::uint64_t seed = 0;
+  /// Sweep-size multiplier for the scaling benches (table1 samples
+  /// round(base * scale) topologies per k). 1 = the tracked default.
+  double scale = 1.0;
   std::string json_path;  // empty = don't write JSON
+
+  // Crash-safe execution (exp/worker_pool.hpp has the semantics).
+  double trial_timeout_s = 0;
+  int retries = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::string journal_path;               // --journal
+  std::vector<std::string> resume_paths;  // --resume (repeatable)
+  std::string wedge_trial;                // --wedge (testing hook)
 
   /// Static pre-flight analysis mode for every fabric the binary builds
   /// (assign to ScenarioConfig::preflight after parse_cli).
@@ -46,6 +76,17 @@ struct CliOptions {
     PoolOptions p;
     p.jobs = jobs;
     p.progress = progress;
+    p.trial_timeout_s = trial_timeout_s;
+    p.retries = retries;
+    p.shard_index = shard_index;
+    p.shard_count = shard_count;
+    p.resume_paths = resume_paths;
+    p.wedge_trial = wedge_trial;
+    // --resume doubles as the journal unless --journal overrides it.
+    p.journal_path = !journal_path.empty()
+                         ? journal_path
+                         : (resume_paths.empty() ? std::string{}
+                                                 : resume_paths.front());
     return p;
   }
 
@@ -71,15 +112,24 @@ struct CliOptions {
   }
 };
 
-/// Parse the flags above; on an unknown argument or missing flag value,
-/// prints usage to stderr and exits with status 2.
+/// Parse the flags above; on an unknown argument, missing flag value, or a
+/// malformed numeric value (--jobs=abc, --shard 4/0, ...), prints usage to
+/// stderr and exits with status 2.
 CliOptions parse_cli(int argc, char** argv);
+
+/// run_campaign with the CLI's crash-safety options, translating journal
+/// problems (fingerprint mismatch, corruption, I/O failure) into the
+/// usage-error exit: message on stderr, exit status 2.
+CampaignResult run_campaign_cli(const Campaign& campaign,
+                                const CliOptions& opts);
 
 /// Standard campaign epilogue: if `--json` was given, write `result` there
 /// (honoring `--timing`) and print a one-line confirmation. Lists every
-/// failed trial on stderr. False — callers should exit nonzero — on I/O
-/// failure or when any trial failed, so a broken trial can't hide inside a
-/// green pipeline.
-bool finish_cli(const CliOptions& opts, const CampaignResult& result);
+/// failed and timed-out trial on stderr, so a broken trial can't hide
+/// inside a green pipeline. Returns the process exit status:
+///   0 — every executed trial completed
+///   1 — a trial failed, or the JSON could not be written
+///   3 — no failures, but at least one trial timed out under the watchdog
+int finish_cli(const CliOptions& opts, const CampaignResult& result);
 
 }  // namespace gfc::exp

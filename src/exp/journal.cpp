@@ -1,0 +1,513 @@
+#include "exp/journal.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace gfc::exp {
+
+namespace {
+
+// --- CRC-32 (IEEE reflected, zlib polynomial) ----------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// --- record framing ------------------------------------------------------
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+// --- minimal JSON parser -------------------------------------------------
+//
+// Exactly the subset journal_record_json / JournalHeader::json emit: one
+// flat object whose values are bool / integer / double / string, or a
+// nested flat object of the same scalars (params / metrics). Numbers keep
+// their int-vs-double identity from the token shape ('.', 'e', 'E' =>
+// double); doubles were rendered by std::to_chars, so strtod + to_chars
+// round-trips to identical bytes.
+
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  // Parse `{...}` where values may themselves be flat objects.
+  void parse_top(
+      std::vector<std::pair<std::string, Value>>* scalars,
+      std::vector<std::pair<std::string, ParamSet>>* objects) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++p_;
+      return;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      skip_ws();
+      if (peek() == '{') {
+        ParamSet nested;
+        parse_flat_object(&nested);
+        objects->emplace_back(std::move(key), std::move(nested));
+      } else {
+        scalars->emplace_back(std::move(key), parse_scalar());
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void check_done() {
+    skip_ws();
+    if (p_ != end_) fail("trailing bytes after JSON value");
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) {
+    throw JournalError(std::string("journal record parse error: ") + why);
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r'))
+      ++p_;
+  }
+
+  char peek() {
+    if (p_ == end_) fail("unexpected end of record");
+    return *p_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail("unexpected token");
+    ++p_;
+  }
+
+  void parse_flat_object(ParamSet* out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++p_;
+      return;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      out->set(std::move(key), parse_scalar());
+      skip_ws();
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (p_ == end_) fail("unterminated string");
+      char c = *p_++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) fail("unterminated escape");
+      char e = *p_++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (end_ - p_ < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Value::quote only \u-escapes control bytes (< 0x20); anything
+          // wider never round-trips through our own writer.
+          if (code > 0x7F) fail("unsupported \\u escape above ASCII");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_scalar() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') return Value(parse_string());
+    if (c == 't') {
+      literal("true");
+      return Value(true);
+    }
+    if (c == 'f') {
+      literal("false");
+      return Value(false);
+    }
+    // Number: grab the token, classify by shape.
+    const char* start = p_;
+    bool is_double = false;
+    while (p_ != end_ &&
+           (*p_ == '-' || *p_ == '+' || *p_ == '.' || *p_ == 'e' ||
+            *p_ == 'E' || (*p_ >= '0' && *p_ <= '9'))) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') is_double = true;
+      ++p_;
+    }
+    if (p_ == start) fail("expected a value");
+    const std::string tok(start, p_);
+    errno = 0;
+    char* endp = nullptr;
+    if (is_double) {
+      const double d = std::strtod(tok.c_str(), &endp);
+      if (endp != tok.c_str() + tok.size() || errno == ERANGE)
+        fail("bad double literal");
+      return Value(d);
+    }
+    const long long i = std::strtoll(tok.c_str(), &endp, 10);
+    if (endp != tok.c_str() + tok.size() || errno == ERANGE)
+      fail("bad integer literal");
+    return Value(static_cast<std::int64_t>(i));
+  }
+
+  void literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (static_cast<std::size_t>(end_ - p_) < len ||
+        std::memcmp(p_, lit, len) != 0)
+      fail("bad literal");
+    p_ += len;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+const Value* find_scalar(
+    const std::vector<std::pair<std::string, Value>>& kv,
+    const std::string& key) {
+  for (const auto& [k, v] : kv)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JournalHeader parse_header(const std::string& payload) {
+  std::vector<std::pair<std::string, Value>> scalars;
+  std::vector<std::pair<std::string, ParamSet>> objects;
+  MiniJson parser(payload);
+  parser.parse_top(&scalars, &objects);
+  parser.check_done();
+  const Value* schema = find_scalar(scalars, "schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kJournalSchema)
+    throw JournalError("not a " + std::string(kJournalSchema) + " file");
+  JournalHeader h;
+  const Value* campaign = find_scalar(scalars, "campaign");
+  const Value* seed = find_scalar(scalars, "seed");
+  const Value* n = find_scalar(scalars, "n_trials");
+  const Value* hash = find_scalar(scalars, "param_hash");
+  if (campaign == nullptr || !campaign->is_string() || seed == nullptr ||
+      !seed->is_int() || n == nullptr || !n->is_int() || hash == nullptr ||
+      !hash->is_string())
+    throw JournalError("malformed journal header");
+  h.campaign = campaign->as_string();
+  h.seed = static_cast<std::uint64_t>(seed->as_int());
+  h.n_trials = static_cast<std::uint64_t>(n->as_int());
+  errno = 0;
+  char* endp = nullptr;
+  h.param_hash = std::strtoull(hash->as_string().c_str(), &endp, 16);
+  if (*endp != '\0' || errno == ERANGE)
+    throw JournalError("malformed journal header param_hash");
+  return h;
+}
+
+void fnv1a_mix(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  h ^= 0xFFu;  // record separator, so ("ab","c") != ("a","bc")
+  h *= 0x100000001B3ull;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t campaign_param_hash(const Campaign& campaign) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const Trial& t : campaign.trials) {
+    fnv1a_mix(h, t.name);
+    fnv1a_mix(h, t.params.json());
+  }
+  return h;
+}
+
+JournalHeader journal_header_for(const Campaign& campaign) {
+  JournalHeader h;
+  h.campaign = campaign.name;
+  h.seed = campaign.seed;
+  h.n_trials = campaign.trials.size();
+  h.param_hash = campaign_param_hash(campaign);
+  return h;
+}
+
+std::string JournalHeader::json() const {
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(param_hash));
+  std::string out = "{\"schema\":" + Value::quote(kJournalSchema);
+  out += ",\"campaign\":" + Value::quote(campaign);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"n_trials\":" + std::to_string(n_trials);
+  out += ",\"param_hash\":\"" + std::string(hash) + "\"}";
+  return out;
+}
+
+std::string JournalHeader::describe() const {
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(param_hash));
+  return "campaign '" + campaign + "' seed " + std::to_string(seed) + " (" +
+         std::to_string(n_trials) + " trials, params " + hash + ")";
+}
+
+std::string journal_record_json(std::size_t trial, const TrialRecord& rec) {
+  std::string out = "{\"trial\":" + std::to_string(trial);
+  out += ",\"name\":" + Value::quote(rec.name);
+  out += ",\"params\":" + rec.params.json();
+  if (rec.failed) {
+    out += ",\"failed\":true,\"error\":" + Value::quote(rec.error);
+  } else if (rec.timed_out) {
+    out += ",\"timed_out\":true,\"error\":" + Value::quote(rec.error);
+  } else {
+    out += ",\"metrics\":" + rec.metrics.json();
+  }
+  if (rec.attempts > 1) out += ",\"attempts\":" + std::to_string(rec.attempts);
+  out += "}";
+  return out;
+}
+
+JournalEntry parse_journal_record(const std::string& payload) {
+  std::vector<std::pair<std::string, Value>> scalars;
+  std::vector<std::pair<std::string, ParamSet>> objects;
+  MiniJson parser(payload);
+  parser.parse_top(&scalars, &objects);
+  parser.check_done();
+
+  JournalEntry e;
+  const Value* trial = find_scalar(scalars, "trial");
+  const Value* name = find_scalar(scalars, "name");
+  if (trial == nullptr || !trial->is_int() || trial->as_int() < 0 ||
+      name == nullptr || !name->is_string())
+    throw JournalError("journal record missing trial index or name");
+  e.trial = static_cast<std::size_t>(trial->as_int());
+  e.rec.name = name->as_string();
+  if (const Value* v = find_scalar(scalars, "failed"))
+    e.rec.failed = v->is_bool() && v->as_bool();
+  if (const Value* v = find_scalar(scalars, "timed_out"))
+    e.rec.timed_out = v->is_bool() && v->as_bool();
+  if (const Value* v = find_scalar(scalars, "error"))
+    if (v->is_string()) e.rec.error = v->as_string();
+  if (const Value* v = find_scalar(scalars, "attempts"))
+    if (v->is_int()) e.rec.attempts = static_cast<int>(v->as_int());
+  for (auto& [key, obj] : objects) {
+    if (key == "params")
+      e.rec.params = std::move(obj);
+    else if (key == "metrics")
+      e.rec.metrics = std::move(obj);
+  }
+  return e;
+}
+
+LoadedJournal load_journal(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw JournalError("cannot open journal " + path + ": " +
+                       std::strerror(errno));
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+    bytes.append(buf, got);
+    if (got < sizeof(buf)) break;
+  }
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err)
+    throw JournalError("I/O error reading journal " + path);
+
+  LoadedJournal out;
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::size_t size = bytes.size();
+  std::size_t pos = 0;
+  bool have_header = false;
+  for (;;) {
+    if (size - pos < 8) {
+      // A partial frame header is a torn tail (or clean EOF at pos==size).
+      out.torn_tail = pos != size;
+      break;
+    }
+    const std::uint32_t len = get_u32le(data + pos);
+    const std::uint32_t want_crc = get_u32le(data + pos + 4);
+    if (size - pos - 8 < len) {
+      out.torn_tail = true;  // payload truncated mid-write: discard
+      break;
+    }
+    const char* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != want_crc)
+      throw JournalError("journal " + path + ": checksum mismatch at byte " +
+                         std::to_string(pos) +
+                         " (record is size-complete; refusing corrupt data)");
+    const std::string text(payload, len);
+    if (!have_header) {
+      out.header = parse_header(text);
+      have_header = true;
+    } else {
+      out.entries.push_back(parse_journal_record(text));
+    }
+    pos += 8 + len;
+    out.clean_bytes = pos;
+  }
+  if (!have_header)
+    throw JournalError("journal " + path + ": no intact header record (" +
+                       (size == 0 ? "empty file" : "torn before first sync") +
+                       ")");
+  return out;
+}
+
+// --- JournalWriter -------------------------------------------------------
+
+JournalWriter::~JournalWriter() { close(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : f_(other.f_), path_(std::move(other.path_)) {
+  other.f_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    f_ = other.f_;
+    path_ = std::move(other.path_);
+    other.f_ = nullptr;
+  }
+  return *this;
+}
+
+void JournalWriter::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+void JournalWriter::write_record(const std::string& payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size() ||
+      std::fflush(f_) != 0 || ::fsync(fileno(f_)) != 0)
+    throw JournalError("I/O error appending to journal " + path_);
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& header) {
+  JournalWriter w;
+  w.path_ = path;
+  w.f_ = std::fopen(path.c_str(), "wb");
+  if (w.f_ == nullptr)
+    throw JournalError("cannot create journal " + path + ": " +
+                       std::strerror(errno));
+  w.write_record(header.json());
+  return w;
+}
+
+JournalWriter JournalWriter::open_or_create(const std::string& path,
+                                            const JournalHeader& header) {
+  {
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe == nullptr) return create(path, header);
+    std::fclose(probe);
+  }
+  const LoadedJournal existing = load_journal(path);
+  if (existing.header != header)
+    throw JournalError("journal " + path + " fingerprint mismatch: file has " +
+                       existing.header.describe() + ", campaign is " +
+                       header.describe());
+  // Drop a torn tail before appending, or the next record's framing would
+  // land mid-garbage and corrupt the whole file.
+  if (::truncate(path.c_str(),
+                 static_cast<off_t>(existing.clean_bytes)) != 0)
+    throw JournalError("cannot truncate torn tail of journal " + path + ": " +
+                       std::strerror(errno));
+  JournalWriter w;
+  w.path_ = path;
+  w.f_ = std::fopen(path.c_str(), "ab");
+  if (w.f_ == nullptr)
+    throw JournalError("cannot append to journal " + path + ": " +
+                       std::strerror(errno));
+  return w;
+}
+
+void JournalWriter::append(std::size_t trial, const TrialRecord& rec) {
+  if (f_ == nullptr) return;
+  write_record(journal_record_json(trial, rec));
+}
+
+}  // namespace gfc::exp

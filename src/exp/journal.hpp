@@ -1,0 +1,133 @@
+// Append-only trial journal (gfc-journal-v1): the crash-safety layer under
+// campaign runs.
+//
+// A journal is a flat file of length-prefixed, CRC-checked JSON records:
+//
+//   record   := u32le payload_len | u32le crc32(payload) | payload bytes
+//   file     := header_record trial_record*
+//   header   := {"schema":"gfc-journal-v1","campaign":...,"seed":N,
+//                "n_trials":N,"param_hash":"%016x"}
+//   trial    := {"trial":i,"name":...,"params":{...},...outcome fields...}
+//
+// The worker pool appends one fsync'd record per *completed* trial (in
+// completion order, not campaign order), so a SIGKILL loses at most the
+// record being written. Loading tolerates exactly that: an incomplete
+// final record (fewer bytes on disk than its declared length) is treated
+// as torn and discarded; a size-complete record whose CRC mismatches is
+// corruption and a hard error. The header's fingerprint (campaign name,
+// seed, trial count, hash over every trial's name + params) must match the
+// campaign being resumed — resuming a journal from a different campaign,
+// seed or sweep shape is refused.
+//
+// Shard journals of the same campaign share the fingerprint (it covers the
+// full trial list, not the shard), so merging is concatenation: load every
+// shard's records into one resume set and re-emit the store.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/results.hpp"
+
+namespace gfc::exp {
+
+inline constexpr const char* kJournalSchema = "gfc-journal-v1";
+
+/// Any journal I/O, framing, checksum or fingerprint problem. parse_cli
+/// wrappers turn it into exit 2 (a usage-class error: the journal the user
+/// pointed at cannot serve this campaign).
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The campaign fingerprint stored in (and validated against) the header.
+struct JournalHeader {
+  std::string campaign;
+  std::uint64_t seed = 0;
+  std::uint64_t n_trials = 0;
+  std::uint64_t param_hash = 0;
+
+  bool operator==(const JournalHeader&) const = default;
+  std::string json() const;
+  /// "campaign 'x' seed 3 (17 trials, params 0123456789abcdef)".
+  std::string describe() const;
+};
+
+/// FNV-1a over every trial's name and params JSON: two campaigns hash
+/// equal iff they sweep the same named points in the same order.
+std::uint64_t campaign_param_hash(const Campaign& campaign);
+JournalHeader journal_header_for(const Campaign& campaign);
+
+struct JournalEntry {
+  std::size_t trial = 0;  // index into Campaign::trials
+  TrialRecord rec;
+};
+
+struct LoadedJournal {
+  JournalHeader header;
+  /// Completion order as written; a later record for the same trial index
+  /// supersedes an earlier one (a resumed run may re-append).
+  std::vector<JournalEntry> entries;
+  /// Byte offset of the end of the last intact record — appending must
+  /// truncate the file here first to drop a torn tail.
+  std::uint64_t clean_bytes = 0;
+  bool torn_tail = false;  // an incomplete final record was discarded
+};
+
+/// Parse `path`; throws JournalError on open failure, framing/CRC
+/// corruption, or a non-journal file. A torn final record is tolerated.
+LoadedJournal load_journal(const std::string& path);
+
+/// IEEE CRC-32 (zlib-compatible, so Python tooling can verify records).
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// The per-trial record payload (single line, compact separators).
+std::string journal_record_json(std::size_t trial, const TrialRecord& rec);
+
+/// Parse a trial record payload back into (index, TrialRecord). Values
+/// round-trip exactly: everything in a record was rendered by Value::json,
+/// whose shortest-round-trip doubles re-serialize to identical bytes.
+JournalEntry parse_journal_record(const std::string& payload);
+
+/// Append-side handle. Writes are CRC-framed, flushed and fsync'd before
+/// returning, so a completed trial survives any later kill. Thread-safe
+/// via the caller's lock (the worker pool serializes appends).
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+
+  /// Start a fresh journal at `path` (truncating), writing the header.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+  /// Continue an existing journal: validates the on-disk fingerprint
+  /// against `header`, truncates any torn tail, opens for append. Falls
+  /// back to create() when the file does not exist.
+  static JournalWriter open_or_create(const std::string& path,
+                                      const JournalHeader& header);
+
+  bool is_open() const { return f_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Append one completed trial; throws JournalError on I/O failure.
+  void append(std::size_t trial, const TrialRecord& rec);
+
+  void close();
+
+ private:
+  void write_record(const std::string& payload);
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace gfc::exp

@@ -11,6 +11,18 @@ std::size_t CampaignResult::failures() const {
                     [](const TrialRecord& t) { return t.failed; }));
 }
 
+std::size_t CampaignResult::timeouts() const {
+  return static_cast<std::size_t>(
+      std::count_if(trials.begin(), trials.end(),
+                    [](const TrialRecord& t) { return t.timed_out; }));
+}
+
+std::size_t CampaignResult::skipped() const {
+  return static_cast<std::size_t>(
+      std::count_if(trials.begin(), trials.end(),
+                    [](const TrialRecord& t) { return t.skipped; }));
+}
+
 const TrialRecord* CampaignResult::find(const std::string& trial_name) const {
   for (const auto& t : trials)
     if (t.name == trial_name) return &t;
@@ -34,9 +46,17 @@ std::string CampaignResult::json(bool include_timing) const {
     out += ", \"params\": " + t.params.json();
     if (t.failed) {
       out += ", \"failed\": true, \"error\": " + Value::quote(t.error);
+    } else if (t.timed_out) {
+      out += ", \"timed_out\": true, \"error\": " + Value::quote(t.error);
+    } else if (t.skipped) {
+      out += ", \"skipped\": true";
     } else {
       out += ", \"metrics\": " + t.metrics.json();
     }
+    // attempts is 1 in the common case and omitted, so stores without
+    // watchdog retries stay byte-identical to the historical schema.
+    if (t.attempts > 1)
+      out += ", \"attempts\": " + std::to_string(t.attempts);
     if (include_timing) out += ", \"wall_ms\": " + Value(t.wall_ms).json();
     out += i + 1 < trials.size() ? "},\n" : "}\n";
   }
@@ -75,6 +95,11 @@ void CampaignResult::print_report(std::FILE* out) const {
     std::fprintf(out, "%-*s", static_cast<int>(name_w), t.name.c_str());
     if (t.failed) {
       std::fprintf(out, "  FAILED: %s", t.error.c_str());
+    } else if (t.timed_out) {
+      std::fprintf(out, "  TIMEOUT%s%s", t.error.empty() ? "" : ": ",
+                   t.error.c_str());
+    } else if (t.skipped) {
+      std::fprintf(out, "  SKIPPED");
     } else {
       for (std::size_t j = 0; j < cols.size(); ++j) {
         const Value* v = t.metrics.find(cols[j]);

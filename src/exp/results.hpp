@@ -17,10 +17,22 @@ inline constexpr const char* kCampaignSchema = "gfc-campaign-v1";
 struct TrialRecord {
   std::string name;
   ParamSet params;
-  ParamSet metrics;   // empty if the trial failed
+  ParamSet metrics;   // empty if the trial failed, timed out or was skipped
   bool failed = false;
-  std::string error;  // exception message when failed
+  /// Cancelled by the worker pool's watchdog (--trial-timeout) on every
+  /// attempt. Distinct from `failed`: the trial did not throw on its own.
+  bool timed_out = false;
+  /// Not run by this invocation: outside the --shard range and not
+  /// supplied by a resumed journal. Never set in a complete store.
+  bool skipped = false;
+  /// Attempts consumed (1 + watchdog retries). 1 everywhere unless the
+  /// watchdog cancelled and --retries re-ran the trial.
+  int attempts = 1;
+  std::string error;  // exception message when failed / timeout note
   double wall_ms = 0;  // timing metadata, not part of the result proper
+
+  /// Completed with metrics (not failed / timed out / skipped).
+  bool ok() const { return !failed && !timed_out && !skipped; }
 };
 
 struct CampaignResult {
@@ -31,6 +43,8 @@ struct CampaignResult {
   double wall_ms = 0;  // timing metadata
 
   std::size_t failures() const;
+  std::size_t timeouts() const;
+  std::size_t skipped() const;
   const TrialRecord* find(const std::string& trial_name) const;
 
   /// Pretty-printed JSON document. With include_timing = false (the

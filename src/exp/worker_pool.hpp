@@ -4,7 +4,25 @@
 // which worker ran what. A throwing trial is captured in its record
 // (failed/error) and never takes down the pool. Because every trial owns
 // its simulation outright, results are byte-identical for any job count.
+//
+// Crash safety rides on three orthogonal options:
+//  - journal_path: append one fsync'd gfc-journal-v1 record per completed
+//    trial, so a killed campaign loses at most the trial mid-write.
+//  - resume_paths: load journals first, skip their completed trials, and
+//    produce a final store byte-identical to an uninterrupted run.
+//    Fingerprint mismatches throw JournalError.
+//  - shard_index/shard_count: run only the contiguous trial-id range of
+//    this shard; shard journals merge by resuming them all at once.
+// Plus a watchdog: when trial_timeout_s > 0, a monitor thread cancels any
+// trial whose attempt exceeds the budget (via the trial's ProgressSink
+// heartbeat channel) and retries it up to `retries` times with the same
+// seed — deterministic trials either reproduce the hang or expose a pool
+// bug; either way the sweep keeps moving and the outcome is recorded as
+// `timed_out` instead of stalling the pool forever.
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "exp/campaign.hpp"
 #include "exp/results.hpp"
@@ -18,6 +36,32 @@ struct PoolOptions {
   /// only ever goes here, never into results.
   bool progress = false;
   std::FILE* progress_out = nullptr;  // nullptr -> stderr
+
+  /// Watchdog: cancel a trial attempt after this many wall-clock seconds
+  /// (<= 0 disables). Cancellation is cooperative via ProgressSink
+  /// heartbeats — see exp/progress.hpp.
+  double trial_timeout_s = 0;
+  /// Re-run a cancelled trial up to this many extra attempts (same seed).
+  int retries = 0;
+
+  /// Contiguous trial-id-range sharding: shard i of n runs trials in
+  /// [floor(i*N/n), floor((i+1)*N/n)). Out-of-shard trials are recorded
+  /// as `skipped` unless a resumed journal supplies them.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  /// Append-only journal to write (created, or continued when it already
+  /// holds this campaign's fingerprint). Empty = no journal.
+  std::string journal_path;
+  /// Journals to load before running: completed trials are skipped and
+  /// their records reused verbatim. Missing files are ignored (first run
+  /// of a --resume campaign); mismatched fingerprints throw JournalError.
+  std::vector<std::string> resume_paths;
+
+  /// Testing hook (--wedge): replace the named trial's body with an
+  /// infinite heartbeat loop, so watchdog cancellation can be exercised
+  /// end-to-end from any campaign binary.
+  std::string wedge_trial;
 };
 
 CampaignResult run_campaign(const Campaign& campaign,

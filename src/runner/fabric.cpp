@@ -87,6 +87,24 @@ Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
   }
   if (cfg_.fault.enabled())
     fault_plan_ = std::make_unique<fault::FaultPlan>(net_, cfg_.fault);
+  // Campaign watchdog heartbeat: when the worker pool installed a
+  // ProgressSink on this thread, beacon (sim time, executed events) on a
+  // persistent timer. The beacon only reads scheduler counters — results
+  // and goldens are untouched — and throws CancelledError once the
+  // watchdog requests cancellation, unwinding the trial out of run_until.
+  if (exp::ProgressSink* sink = exp::current_progress_sink()) {
+    constexpr sim::TimePs kBeaconPeriod = sim::us(100);
+    sim::Scheduler& sched = net_.sched();
+    progress_timer_ = sched.register_timer([this, sink] {
+      sim::Scheduler& s = net_.sched();
+      // Re-arm first: beacon may throw, and the next attempt's Fabric is a
+      // fresh object anyway — but keeping the timer armed costs nothing and
+      // keeps the no-cancel path a plain periodic timer.
+      s.arm_timer(progress_timer_, s.now() + kBeaconPeriod);
+      sink->beacon(s.now(), s.executed_events());
+    });
+    sched.arm_timer(progress_timer_, sched.now() + kBeaconPeriod);
+  }
 }
 
 trace::NodeNameFn Fabric::node_name_fn() {

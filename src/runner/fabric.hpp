@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 
+#include "exp/progress.hpp"
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "runner/config.hpp"
@@ -57,6 +58,9 @@ class Fabric {
 
  private:
   ScenarioConfig cfg_;
+  /// Watchdog heartbeat timer (see exp/progress.hpp): armed only when the
+  /// constructing thread has a campaign ProgressSink installed.
+  sim::TimerId progress_timer_;
   /// Declared before net_ so the tracer outlives every node's teardown.
   std::unique_ptr<trace::Tracer> tracer_;
   net::Network net_;

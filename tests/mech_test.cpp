@@ -163,7 +163,9 @@ TEST(CbdFreeRoutes, RingBecomesCbdFreeAndStaysConnected) {
   EXPECT_EQ(stats.pairs, 6u);  // 3 hosts, ordered pairs
   for (const topo::NodeIndex a : t.hosts())
     for (const topo::NodeIndex b : t.hosts())
-      if (a != b) EXPECT_GE(routes.trace(a, b, 0).size(), 3u);
+      if (a != b) {
+        EXPECT_GE(routes.trace(a, b, 0).size(), 3u);
+      }
   (void)info;
 }
 
