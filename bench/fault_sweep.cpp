@@ -61,10 +61,14 @@ void export_trial_trace(const exp::CliOptions& cli, const std::string& name,
 
 // Every trial's fabric honors the binary-wide --analyze mode.
 analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
+// --shards count for every trial fabric; trials with fault injection
+// enabled fall back to the sequential engine (fabric warns once per trial).
+int g_shards = 1;
 
 ScenarioConfig config_for(const MechSpec& m, std::uint64_t base) {
   ScenarioConfig cfg;
   cfg.preflight = g_preflight;
+  cfg.shards = g_shards;
   cfg.seed = 1 + base;
   // setup_for = FcSetup::derive + the spec's heal / break / routing knobs;
   // every registered mechanism is derivable at the default 300 KB buffer.
@@ -264,6 +268,7 @@ exp::TrialResult run_flap_trial(const MechSpec& m, std::uint64_t base,
 int main(int argc, char** argv) {
   const exp::CliOptions cli = exp::parse_cli(argc, argv);
   g_preflight = cli.preflight;
+  g_shards = cli.sim_shards;
   bench::header("Fault sweep: flow control under control-frame loss, "
                 "deadlock recovery, link flaps",
                 "robustness study; extends Table 1 / Fig 9 to runtime faults");

@@ -75,10 +75,13 @@ std::vector<ProneCase> scan_prone_cases(int k, std::uint64_t max_seed) {
 // Every trial's fabric honors the binary-wide --analyze mode (a kFail
 // verdict surfaces as a failed trial through the worker pool).
 analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
+// Every trial's fabric honors the binary-wide --shards count (src/par).
+int g_shards = 1;
 
 ScenarioConfig config_for(FcKind kind) {
   ScenarioConfig cfg;
   cfg.preflight = g_preflight;
+  cfg.shards = g_shards;
   cfg.switch_buffer = 300'000;
   cfg.fc = FcSetup::derive(kind, cfg.switch_buffer, cfg.link.rate, cfg.tau());
   return cfg;
@@ -89,6 +92,7 @@ ScenarioConfig config_for(FcKind kind) {
 int main(int argc, char** argv) {
   const exp::CliOptions cli = exp::parse_cli(argc, argv);
   g_preflight = cli.preflight;
+  g_shards = cli.sim_shards;
   bench::header("Figures 16/17: average available bandwidth and slowdown",
                 "Fig. 16(a)/(b), Fig. 17(a)/(b), Sec 6.2.3");
   const int kCbdFreeCases = cli.quick ? 6 : 14;

@@ -29,9 +29,10 @@ struct SweepPoint {
 };
 
 exp::TrialResult run_point(const SweepPoint& pt, sim::TimePs duration,
-                           analyze::PreflightMode preflight) {
+                           analyze::PreflightMode preflight, int shards) {
   ScenarioConfig cfg;
   cfg.preflight = preflight;
+  cfg.shards = shards;
   cfg.link.rate = sim::gbps(pt.rate_gbps);
   cfg.link.prop_delay = sim::ns(pt.wire_m / 0.2);  // ~2e8 m/s on the wire
   cfg.switch_buffer = pt.buffer;
@@ -119,8 +120,9 @@ int main(int argc, char** argv) {
                        std::to_string(pt.buffer / 1000) + "KB/" +
                        std::to_string(static_cast<int>(pt.wire_m)) + "m";
     const analyze::PreflightMode preflight = cli.preflight;
-    campaign.add(std::move(name), p, [pt, duration, preflight] {
-      return run_point(pt, duration, preflight);
+    const int shards = cli.sim_shards;
+    campaign.add(std::move(name), p, [pt, duration, preflight, shards] {
+      return run_point(pt, duration, preflight, shards);
     });
   }
 

@@ -146,13 +146,15 @@ int main(int argc, char** argv) {
         const sim::TimePs dur = s.dur;
         const std::uint64_t base = cli.seed;
         const analyze::PreflightMode preflight = cli.preflight;
+        const int shards = cli.sim_shards;
         const bool is_dcfit = spec->kind == FcKind::kDcfit;
         campaign.add(
             "k" + std::to_string(s.k) + "/seed" + std::to_string(c.seed) +
                 "/" + spec->name,
-            std::move(p), [spec, k, dur, c, base, preflight, is_dcfit] {
+            std::move(p), [spec, k, dur, c, base, preflight, shards, is_dcfit] {
               ScenarioConfig cfg;
               cfg.preflight = preflight;
+              cfg.shards = shards;
               cfg.seed = 1 + base;
               cfg.switch_buffer = 300'000;
               cfg.fc = mech::setup_for(*spec, cfg.switch_buffer, cfg.link.rate,
@@ -199,10 +201,12 @@ int main(int argc, char** argv) {
     p.set("mechanism", "PFC/cbd-free");
     const std::uint64_t base = cli.seed;
     const analyze::PreflightMode preflight = cli.preflight;
+    const int shards = cli.sim_shards;
     campaign.add("xval/k4/seed" + std::to_string(c.seed), std::move(p),
-                 [c, base, preflight] {
+                 [c, base, preflight, shards] {
                    ScenarioConfig cfg;
                    cfg.preflight = preflight;
+                   cfg.shards = shards;
                    cfg.seed = 1 + base;
                    cfg.switch_buffer = 300'000;
                    cfg.fc = FcSetup::derive(FcKind::kPfc, cfg.switch_buffer,

@@ -38,7 +38,7 @@ class LinkFcBase : public FcModule {
 
   Node& node() { return *node_; }
   net::Network& network() { return node_->network(); }
-  sim::Scheduler& sched() { return node_->network().sched(); }
+  sim::Scheduler& sched() { return node_->sched_ref(); }
 
   /// The node as a switch, or nullptr when attached to a host.
   SwitchNode* as_switch() { return sw_; }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
@@ -19,6 +20,7 @@ namespace gfc::net {
 
 class Node;
 class Network;
+struct ShardContext;
 
 class Channel {
  public:
@@ -37,8 +39,24 @@ class Channel {
   Node& dst() { return dst_; }
   int dst_port() const { return dst_port_; }
 
+  // --- sharded-core plumbing (src/par) -------------------------------------
+  /// Register the flight timer on the destination's (shard) scheduler up
+  /// front, so cross-shard sends never register on a foreign scheduler from
+  /// a worker thread. Idempotent; the single-threaded engine keeps the lazy
+  /// registration in propagate().
+  void ensure_flight_timer();
+  /// Move packets staged by cross-shard window sends into the wire FIFO.
+  /// Called at the barrier only (single-threaded), in any channel order:
+  /// per-channel arrival keys are FIFO, so appending staged packets in the
+  /// order the source shard sent them matches the merged fire order.
+  void splice_staged() {
+    for (Packet* p : staged_) flight_.push_back(p);
+    staged_.clear();
+  }
+
  private:
   void propagate(Packet* pkt, sim::TimePs delay);
+  void par_propagate(Packet* pkt, ShardContext& c);
   void flight_arrival();
 
   Network& net_;
@@ -46,11 +64,17 @@ class Channel {
   int dst_port_;
   sim::TimePs prop_delay_;
   bool up_ = true;
+  /// Destination is a host NIC: the wire is a flow's final hop, where the
+  /// sharded core predicts completions (see Flow::par_wire_bytes).
+  bool final_hop_ = false;
   // Fixed-delay wire FIFO: arrivals fire in send order (constant delay,
   // monotonic clock), so one multishot timer pops this queue head per
   // firing instead of each packet carrying its own one-shot closure.
   // Fault-delayed frames break FIFO and keep the one-shot path.
   std::deque<Packet*> flight_;
+  /// Cross-shard sends staged during a window (single writer: the source
+  /// shard; spliced into flight_ at the barrier by the coordinator).
+  std::vector<Packet*> staged_;
   sim::TimerId flight_timer_{};
 };
 

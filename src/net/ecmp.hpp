@@ -19,10 +19,15 @@ inline std::size_t ecmp_select(std::uint64_t salt, std::int32_t switch_id,
                                std::size_t n_choices) {
   const std::uint64_t h = ecmp_hash(salt, switch_id);
   // Fan-outs are powers of two in the regular topologies; mask instead of
-  // dividing there (identical residue for pow2 moduli).
+  // dividing there (identical residue for pow2 moduli). All shipped
+  // topologies take this branch, so goldens are pinned to it.
   if ((n_choices & (n_choices - 1)) == 0)
     return static_cast<std::size_t>(h & (n_choices - 1));
-  return static_cast<std::size_t>(h % n_choices);
+  // Irregular fan-outs: Lemire multiply-shift maps the hash onto
+  // [0, n_choices) with bias bounded by n/2^64 — `h % n` keeps the low
+  // bits' modulo bias and costs a 64-bit divide on the data path.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * n_choices) >> 64);
 }
 
 }  // namespace gfc::net

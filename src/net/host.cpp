@@ -22,7 +22,7 @@ HostNode::SenderFlow* HostNode::find_sender(FlowId id, std::size_t* idx) {
 }
 
 void HostNode::drop_sender(std::size_t idx) {
-  if (sending_[idx].timer.valid()) network().sched().cancel(sending_[idx].timer);
+  if (sending_[idx].timer.valid()) sched_ref().cancel(sending_[idx].timer);
   sending_.erase(sending_.begin() + static_cast<std::ptrdiff_t>(idx));
 }
 
@@ -57,7 +57,7 @@ void HostNode::stage_next(std::size_t idx) {
   pkt->dst = flow.dst;
   pkt->flow = flow.id;
   pkt->path_salt = flow.path_salt;
-  pkt->created_at = network().sched().now();
+  pkt->created_at = sched_ref().now();
   flow.bytes_enqueued += len;
   sf.staged = true;
   port(uplink_port()).enqueue(pkt);
@@ -87,7 +87,7 @@ void HostNode::on_departure(Packet& pkt, int /*out_port*/) {
     stage_next(idx);
   } else {
     const FlowId fid = pkt.flow;
-    sf->timer = network().sched().schedule_in(extra, [this, fid] {
+    sf->timer = sched_ref().schedule_in(extra, [this, fid] {
       std::size_t i = 0;
       if (find_sender(fid, &i) != nullptr) stage_next(i);
     });
@@ -101,7 +101,7 @@ void HostNode::notify_rate_change(FlowId id) {
   std::size_t idx = 0;
   SenderFlow* sf = find_sender(id, &idx);
   if (sf == nullptr || sf->staged || !sf->timer.valid()) return;
-  network().sched().cancel(sf->timer);
+  sched_ref().cancel(sf->timer);
   sf->timer = {};
   stage_next(idx);
 }
@@ -132,7 +132,7 @@ void HostNode::receive(Packet* pkt, int in_port) {
   network().notify_delivery(*pkt);
   if (network().cc()) network().cc()->on_data_received(*this, flow, *pkt);
   if (flow.completed() && flow.finish_time < 0) {
-    flow.finish_time = network().sched().now();
+    flow.finish_time = sched_ref().now();
     ++counters.flows_completed;
     network().trace_event(trace::EventType::kFlowComplete, id(), -1,
                           flow.priority,

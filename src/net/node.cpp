@@ -7,7 +7,7 @@
 namespace gfc::net {
 
 Node::Node(Network& net, NodeId id, std::string name)
-    : net_(net), id_(id), name_(std::move(name)) {}
+    : net_(net), sched_(&net.sched()), id_(id), name_(std::move(name)) {}
 
 int Node::add_port(sim::Rate rate) {
   const int idx = static_cast<int>(ports_.size());
@@ -32,7 +32,7 @@ Packet* Node::make_control(PacketType type) {
   Packet* pkt = net_.pool().acquire();
   pkt->type = type;
   pkt->size_bytes = kControlFrameBytes;
-  pkt->created_at = net_.sched().now();
+  pkt->created_at = sched_ref().now();
   return pkt;
 }
 
@@ -48,7 +48,7 @@ void Node::deliver_control(Packet* pkt, int in_port) {
     net_.free_packet(pkt);
     return;
   }
-  net_.sched().schedule_in(delay, [this, pkt, in_port] {
+  sched_ref().schedule_in(delay, [this, pkt, in_port] {
     if (fc_) fc_->on_control(in_port, *pkt);
     net_.free_packet(pkt);
   });

@@ -15,7 +15,7 @@ EgressPort::EgressPort(Node& owner, int index, sim::Rate line_rate)
       rate_(line_rate),
       gate_(std::make_unique<OpenGate>()) {}
 
-sim::Scheduler& EgressPort::sched() { return owner_.network().sched(); }
+sim::Scheduler& EgressPort::sched() { return owner_.sched_ref(); }
 
 std::int64_t EgressPort::queued_bytes_total() const {
   std::int64_t sum = 0;

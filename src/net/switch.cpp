@@ -200,9 +200,9 @@ void SwitchNode::dispatch(int seed_egress) {
     // arming (sequence) order and the masks pop FIFO, so each firing sees
     // exactly the mask the per-firing closure used to capture.
     if (!kick_timer_.valid())
-      kick_timer_ = network().sched().register_multishot([this] { fire_kicks(); });
+      kick_timer_ = sched_ref().register_multishot([this] { fire_kicks(); });
     kick_masks_.push_back(kicked);
-    network().sched().fire_at(kick_timer_, network().sched().now());
+    sched_ref().fire_at(kick_timer_, sched_ref().now());
   }
 }
 
@@ -270,7 +270,7 @@ Packet* SwitchNode::poll_data(int egress_port, sim::TimePs now,
         // The new head targets a different egress; wake it once the current
         // call stack (which is inside that port's transmit path) unwinds.
         const int next_egress = q.front()->out_port;
-        network().sched().schedule_in(
+        sched_ref().schedule_in(
             0, [this, next_egress] { port(next_egress).kick(); });
       }
       return head;

@@ -1,0 +1,372 @@
+#include "par/engine.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace gfc::par {
+
+namespace {
+constexpr std::uint64_t kUnknown = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kCtrMask = (std::uint64_t{1} << 48) - 1;
+
+std::uint64_t& slot_for(std::vector<std::uint64_t>& v, std::uint64_t prov) {
+  const auto i = static_cast<std::size_t>(prov & kCtrMask);
+  if (i >= v.size()) v.resize(i + 1, kUnknown);
+  return v[i];
+}
+
+void add_counters(net::Counters& dst, net::Counters& src) {
+  dst.lossless_violations += src.lossless_violations;
+  dst.route_drops += src.route_drops;
+  dst.data_packets_delivered += src.data_packets_delivered;
+  dst.data_bytes_delivered += src.data_bytes_delivered;
+  dst.control_frames_sent += src.control_frames_sent;
+  dst.flows_completed += src.flows_completed;
+  dst.wire_lost_packets += src.wire_lost_packets;
+  dst.failover_drops += src.failover_drops;
+  src = net::Counters{};
+}
+}  // namespace
+
+Engine::Engine(net::Network& net, const std::vector<int>& shard_of_node,
+               int n_shards)
+    : net_(net), main_(&net.sched()) {
+  assert(n_shards >= 1);
+  assert(shard_of_node.size() == net.node_count());
+
+  // Lookahead: the minimum propagation delay anywhere in the fabric. Any
+  // cross-shard influence rides a wire, so tau bounds the window width for
+  // every partition (a boundary-only minimum would also be correct, but the
+  // global minimum keeps the invariant partition-independent).
+  tau_ = 0;
+  for (std::size_t i = 0; i < net.channel_count(); ++i) {
+    const sim::TimePs d = net.channel(i).prop_delay();
+    if (tau_ == 0 || d < tau_) tau_ = d;
+  }
+  assert(tau_ > 0 && "sharded engine needs positive link propagation delay");
+
+  // Continue the sequential counters exactly where the single-threaded
+  // engine stood at attach time (the runner attaches before any traffic,
+  // but this also keeps late attachment honest).
+  gseq_ = main_->next_seq();
+  gid_ = net.pool().total_created() + 1;
+
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    auto st = std::make_unique<ShardState>(*this);
+    st->index = static_cast<std::uint32_t>(s);
+    st->ctx.sched = &st->sched;
+    st->ctx.pool = &st->pool;
+    st->ctx.counters = &st->counters;
+    st->ctx.log = &st->log;
+    st->ctx.trace_stage = &st->trace_stage;
+    st->sched.set_seq_source(&gseq_);
+    shards_.push_back(std::move(st));
+  }
+
+  // Re-point every node, then pre-register the wire timers so no worker
+  // ever registers a callback on a foreign scheduler mid-window. The
+  // runner attaches before traffic starts, so no flight timer exists yet.
+  for (std::size_t i = 0; i < net.node_count(); ++i)
+    net.node(static_cast<net::NodeId>(i))
+        .set_shard_sched(
+            &shards_[static_cast<std::size_t>(shard_of_node[i])]->sched);
+  for (std::size_t i = 0; i < net.channel_count(); ++i)
+    net.channel(i).ensure_flight_timer();
+
+  // Coordinator-side direct context: routes to the Network-owned pool and
+  // counters but draws sequence numbers / packet ids from the shared
+  // global counters, and feeds completion splits into the agenda. It stays
+  // installed on this thread for the engine's whole lifetime (setup that
+  // runs after attachment — fc modules, flow creation — is part of the
+  // deterministic sequence stream too).
+  direct_ctx_.sched = main_;
+  direct_ctx_.pool = &net.pool();
+  direct_ctx_.counters = &net.counters();
+  direct_ctx_.gseq = &gseq_;
+  direct_ctx_.split_env = this;
+  direct_ctx_.on_split = [](void* env, sim::TimePs t, std::uint64_t g) {
+    static_cast<Engine*>(env)->agenda_.insert({t, g});
+  };
+  main_->set_seq_source(&gseq_);
+  net.pool().set_id_source(&gid_);
+  net::set_shard_ctx(&direct_ctx_);
+  net.set_par_hook(this);
+
+  for (auto& sh : shards_)
+    sh->thread = std::thread([this, st = sh.get()] { worker(*st); });
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& sh : shards_)
+    if (sh->thread.joinable()) sh->thread.join();
+
+  net_.set_par_hook(nullptr);
+  net::set_shard_ctx(nullptr);
+  net_.pool().set_id_source(nullptr);
+  main_->set_seq_source(nullptr);
+  for (std::size_t i = 0; i < net_.node_count(); ++i)
+    net_.node(static_cast<net::NodeId>(i)).set_shard_sched(main_);
+}
+
+std::uint64_t Engine::executed_events() const {
+  // Shard counts come from the progress atomics, not the schedulers'
+  // plain counters: this is called from worker threads (the watchdog
+  // cancel poll) while other shards are mid-window. The atomics are
+  // refreshed at every poll interval and are exact at every barrier and
+  // boundary step, where the deterministic readers (beacons, summaries)
+  // run.
+  std::uint64_t n = main_->executed_events();
+  for (const auto& sh : shards_)
+    n += sh->progress.load(std::memory_order_relaxed);
+  return n;
+}
+
+bool Engine::poll_tramp(void* env) {
+  auto* st = static_cast<ShardState*>(env);
+  Engine& e = st->engine;
+  st->progress.store(st->sched.executed_events(), std::memory_order_relaxed);
+  if (e.abort_flag_.load(std::memory_order_relaxed)) return true;
+  return e.cancel_poll_ != nullptr && e.cancel_poll_(e.cancel_env_);
+}
+
+void Engine::worker(ShardState& st) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    sim::TimePs end_t;
+    std::uint64_t end_seq;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      end_t = win_end_t_;
+      end_seq = win_end_seq_;
+    }
+    net::set_shard_ctx(&st.ctx);
+    st.sched.begin_window(&st.log, end_t, end_seq);
+    st.pool.begin_window(&st.log, st.index);
+    const bool ok = st.sched.run_window(&Engine::poll_tramp, &st);
+    st.pool.end_window();
+    st.sched.end_window();
+    net::set_shard_ctx(nullptr);
+    if (!ok) abort_flag_.store(true, std::memory_order_relaxed);
+    st.progress.store(st.sched.executed_events(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Engine::run_parallel_window(sim::TimePs end_t, std::uint64_t end_seq) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    win_end_t_ = end_t;
+    win_end_seq_ = end_seq;
+    pending_ = static_cast<int>(shards_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+  }
+  if (abort_flag_.load(std::memory_order_relaxed)) handle_abort();
+  merge();
+}
+
+void Engine::merge() {
+  // K-way replay of the shard logs in true global (t, key) order. See the
+  // header comment for why the minimum known-key head is always the global
+  // minimum.
+  for (auto& sh : shards_) {
+    sh->head = 0;
+    sh->true_key.clear();
+    sh->true_id.clear();
+  }
+  for (;;) {
+    ShardState* best = nullptr;
+    sim::TimePs best_t = 0;
+    std::uint64_t best_k = 0;
+    [[maybe_unused]] bool remaining = false;  // assert-only in NDEBUG builds
+    for (auto& sh : shards_) {
+      if (sh->head >= sh->log.groups.size()) continue;
+      remaining = true;
+      const sim::WinGroup& g = sh->log.groups[sh->head];
+      std::uint64_t k = g.key;
+      if (k & sim::kProvSeqBit) {
+        const auto i = static_cast<std::size_t>(k & kCtrMask);
+        if (i >= sh->true_key.size() || sh->true_key[i] == kUnknown)
+          continue;  // creator not replayed yet: cannot be the global min
+        k = sh->true_key[i];
+      }
+      if (best == nullptr || g.t < best_t || (g.t == best_t && k < best_k)) {
+        best = sh.get();
+        best_t = g.t;
+        best_k = k;
+      }
+    }
+    if (best == nullptr) {
+      assert(!remaining && "merge wedged: no known-key head");
+      break;
+    }
+    const sim::WinGroup& g = best->log.groups[best->head];
+    for (std::uint32_t ri = g.first; ri < g.first + g.n; ++ri) {
+      const sim::WinRecord& r = best->log.recs[ri];
+      switch (r.kind) {
+        case sim::WinRecord::kCall: {
+          const std::uint64_t seq = gseq_++;
+          if ((r.flags & sim::WinRecord::kDeferred) == 0) {
+            // In-window event: publish its true key for the k-way merge.
+            slot_for(best->true_key, r.prov) = seq;
+            break;
+          }
+          auto* tgt = r.target != nullptr
+                          ? static_cast<sim::Scheduler*>(r.target)
+                          : &best->sched;
+          tgt->apply_logged_insert(r.slot, r.gen, r.t, seq,
+                                   (r.flags & sim::WinRecord::kForeignLive) !=
+                                       0);
+          if (r.flags & sim::WinRecord::kSplit) agenda_.insert({r.t, seq});
+          break;
+        }
+        case sim::WinRecord::kAlloc: {
+          const std::uint64_t id = gid_++;
+          slot_for(best->true_id, r.prov) = id;
+          auto* pkt = static_cast<net::Packet*>(r.target);
+          // Freed-and-reacquired packets carry a newer provisional id; the
+          // later kAlloc record patches those.
+          if (pkt->id == r.prov) pkt->id = id;
+          break;
+        }
+        case sim::WinRecord::kTrace: {
+          trace::TraceEvent e = best->trace_stage[r.aux];
+          if (e.id & sim::kProvSeqBit) {
+            // Provisional packet id: the alloc record always precedes any
+            // use, so the true id is already known.
+            const std::uint64_t t = slot_for(best->true_id, e.id);
+            assert(t != kUnknown);
+            e.id = t;
+          }
+          net_.emit_trace(e);
+          break;
+        }
+        case sim::WinRecord::kDelivery:
+          net_.replay_delivery(r);
+          break;
+      }
+    }
+    ++best->head;
+  }
+  for (auto& sh : shards_) {
+    add_counters(net_.counters(), sh->counters);
+    sh->log.clear();
+    sh->trace_stage.clear();
+  }
+  // Move cross-shard wire traffic into the destination FIFOs. Per-channel
+  // arrival order is FIFO, so appending in staging (source send) order
+  // matches the merged fire order.
+  for (std::size_t i = 0; i < net_.channel_count(); ++i)
+    net_.channel(i).splice_staged();
+}
+
+void Engine::run_until(sim::TimePs t_end) {
+  main_->clear_stop();
+  for (;;) {
+    if (cancel_poll_ != nullptr && cancel_poll_(cancel_env_)) handle_abort();
+
+    // Global minimum pending key across every scheduler.
+    sim::Scheduler* owner = nullptr;
+    sim::TimePs mt = 0;
+    std::uint64_t ms = 0;
+    auto consider = [&](sim::Scheduler* s) {
+      sim::TimePs t;
+      std::uint64_t q;
+      if (!s->peek_next_key(&t, &q)) return;
+      if (owner == nullptr || t < mt || (t == mt && q < ms)) {
+        owner = s;
+        mt = t;
+        ms = q;
+      }
+    };
+    consider(main_);
+    for (auto& sh : shards_) consider(&sh->sched);
+    if (owner == nullptr || mt > t_end) break;
+
+    // Boundary key: the next event the coordinator must run directly
+    // (main-scheduler work, or a predicted completion split).
+    bool b_any = false;
+    sim::TimePs b_t = 0;
+    std::uint64_t b_s = 0;
+    {
+      sim::TimePs t;
+      std::uint64_t q;
+      if (main_->peek_next_key(&t, &q)) {
+        b_any = true;
+        b_t = t;
+        b_s = q;
+      }
+      if (!agenda_.empty()) {
+        const auto [at, as] = *agenda_.begin();
+        if (!b_any || at < b_t || (at == b_t && as < b_s)) {
+          b_any = true;
+          b_t = at;
+          b_s = as;
+        }
+      }
+    }
+    if (b_any && (b_t < mt || (b_t == mt && b_s < ms))) {
+      // A boundary key below every pending event can only be a stale
+      // agenda entry (its event was cancelled); drop it.
+      agenda_.erase(agenda_.begin());
+      continue;
+    }
+
+    if (b_any && b_t == mt && b_s == ms) {
+      // Boundary step: single-threaded, with every clock at the
+      // sequential value so now()-dependent callbacks match exactly.
+      main_->advance_now(mt);
+      for (auto& sh : shards_) sh->sched.advance_now(mt);
+      if (!agenda_.empty() && agenda_.begin()->first == mt &&
+          agenda_.begin()->second == ms)
+        agenda_.erase(agenda_.begin());
+      owner->step();
+      if (main_->stop_requested()) return;  // mirror run_until's early stop
+      continue;
+    }
+
+    // Parallel window starting at the global minimum. The end key is the
+    // tightest of: the tau lookahead, the next boundary event (windows
+    // must not run past coordinator work), and the run horizon. Always
+    // strictly above (mt, ms), so every window executes at least one
+    // event.
+    sim::TimePs end_t = mt + tau_;
+    std::uint64_t end_seq = 0;
+    if (t_end + 1 < end_t) end_t = t_end + 1;
+    if (b_any && b_t < end_t) {
+      end_t = b_t;
+      end_seq = b_s;
+    }
+    run_parallel_window(end_t, end_seq);
+  }
+  // Tail: mirror the sequential clock semantics (advance to t_end, sweep
+  // the wheel cursor) on every scheduler. Nothing executes — every pending
+  // key is past t_end.
+  for (auto& sh : shards_) sh->sched.run_until(t_end);
+  main_->run_until(t_end);
+}
+
+void Engine::handle_abort() {
+  abort_flag_.store(false, std::memory_order_relaxed);
+  if (abort_handler_) abort_handler_();
+  throw std::runtime_error("par::Engine: run aborted by cancellation poll");
+}
+
+}  // namespace gfc::par

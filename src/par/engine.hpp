@@ -1,0 +1,164 @@
+// Sharded parallel discrete-event engine (conservative tau-lookahead PDES).
+//
+// The fabric is partitioned at switch granularity (topo::partition); every
+// node's events run on its shard's own sim::Scheduler inside a dedicated
+// worker thread. Execution alternates between
+//
+//  * parallel windows: all shards execute their pending events with
+//    timestamps in [t_min, t_end) concurrently, where t_end - t_min <= tau,
+//    the minimum link propagation delay anywhere in the fabric. Within a
+//    window a shard can only affect another shard through a wire, and every
+//    wire crossing takes >= tau — so nothing a shard does in a window can
+//    change what another shard must execute in that same window. Windows
+//    run with provisional event keys and log every globally-visible side
+//    effect (sequence-taking scheduler calls, packet-id allocations, trace
+//    records, delivery notifications) into per-shard WindowLogs.
+//
+//  * boundary steps: events on the main (Network) scheduler — stats
+//    beacons, flow starts, deadlock probes — and predicted flow-completion
+//    arrivals are executed one at a time by the coordinator, single
+//    threaded, with every shard clock advanced to the event's timestamp, so
+//    they observe exactly the state the sequential engine would.
+//
+// At each window barrier the coordinator replays the shard logs in true
+// global order and assigns real sequence numbers and packet ids from the
+// shared global counters (the "merge"). Determinism argument:
+//  * A shard executes its window events in (t, key) order, where in-window
+//    provisional keys sort after every pre-window true key at the same
+//    timestamp — which is exactly the global order restricted to the shard,
+//    because sequence numbers grow monotonically and an in-window event's
+//    true sequence exceeds every sequence assigned before the window.
+//  * The merge is a k-way merge over the per-shard group streams: among the
+//    heads whose keys are known (true keys, or provisional keys whose
+//    creating call was already replayed), pick the minimum (t, key). The
+//    globally next group always has a known key — its creating call either
+//    predates the window or belongs to an earlier group of the same merge —
+//    and no unknown-key head can precede a known minimum (its creator is a
+//    not-yet-replayed group that itself precedes it). Induction gives the
+//    exact sequential replay order, so sequence numbers, packet ids, trace
+//    bytes, stat updates and counter sums come out byte-identical to the
+//    single-threaded engine, at any shard count and under any thread
+//    schedule.
+//
+// Modeled after the barrier-window scheme of Graphite's cycle-level
+// simulator (clock_skew_minimization), with the merge-replay layer added to
+// get bit-exact, shard-count-independent outputs rather than just bounded
+// skew.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/window.hpp"
+
+namespace gfc::par {
+
+class Engine final : public net::ParHook {
+ public:
+  /// Attach to `net`: re-points every node at its shard's scheduler,
+  /// pre-registers wire timers, switches all schedulers and the packet
+  /// pool to the shared global counters, installs the ParHook, and spawns
+  /// one worker thread per shard. `shard_of_node[i]` is the shard owning
+  /// net node i (see topo::partition). Must be attached before any
+  /// simulation traffic runs (the runner attaches right after the links
+  /// are wired); detaching (destruction) restores the single-threaded
+  /// wiring.
+  Engine(net::Network& net, const std::vector<int>& shard_of_node,
+         int n_shards);
+  ~Engine() override;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  void run_until(sim::TimePs t_end) override;
+  std::uint64_t executed_events() const override;
+  std::uint64_t packets_created() const override { return gid_ - 1; }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  sim::TimePs tau() const { return tau_; }
+
+  /// Install a cancellation/heartbeat poll: every worker calls it every
+  /// 4096 executed events during a window (and the coordinator between
+  /// steps). Returning true aborts the run — the abort handler is invoked
+  /// on the coordinator thread. Must be thread-safe; this is how a wedged
+  /// single shard still honors the exp watchdog's --trial-timeout.
+  void set_cancel_poll(bool (*fn)(void*), void* env) {
+    cancel_poll_ = fn;
+    cancel_env_ = env;
+  }
+  /// Invoked on the coordinator when a window aborts (cancel poll returned
+  /// true on any shard); expected to throw. Default: std::runtime_error.
+  void set_abort_handler(std::function<void()> fn) {
+    abort_handler_ = std::move(fn);
+  }
+
+  /// Events this shard has executed — updated at every poll interval and
+  /// barrier, readable from any thread (watchdog diagnostics).
+  std::uint64_t shard_executed(int s) const {
+    return shards_[static_cast<std::size_t>(s)]->progress.load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  struct ShardState {
+    explicit ShardState(Engine& e) : engine(e) {}
+    Engine& engine;
+    std::uint32_t index = 0;
+    sim::Scheduler sched;
+    net::PacketPool pool;
+    net::Counters counters;
+    sim::WindowLog log;
+    std::vector<trace::TraceEvent> trace_stage;
+    net::ShardContext ctx;
+    // Per-window merge scratch: provisional event-key ctr -> true sequence
+    // and provisional packet-id ctr -> true id (UINT64_MAX = unknown).
+    std::vector<std::uint64_t> true_key;
+    std::vector<std::uint64_t> true_id;
+    std::size_t head = 0;  // merge cursor into log.groups
+    std::atomic<std::uint64_t> progress{0};
+    std::thread thread;
+  };
+
+  static bool poll_tramp(void* env);
+  void worker(ShardState& st);
+  void run_parallel_window(sim::TimePs end_t, std::uint64_t end_seq);
+  void merge();
+  [[noreturn]] void handle_abort();
+
+  net::Network& net_;
+  sim::Scheduler* main_;
+  sim::TimePs tau_ = 0;
+  std::uint64_t gseq_ = 0;  // shared global event-sequence counter
+  std::uint64_t gid_ = 1;   // shared global packet-id counter
+  net::ShardContext direct_ctx_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Predicted flow-completion arrivals (t, seq): boundary steps the
+  /// coordinator must execute single-threaded.
+  std::set<std::pair<sim::TimePs, std::uint64_t>> agenda_;
+
+  // Window barrier.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  sim::TimePs win_end_t_ = 0;
+  std::uint64_t win_end_seq_ = 0;
+  std::atomic<bool> abort_flag_{false};
+
+  bool (*cancel_poll_)(void*) = nullptr;
+  void* cancel_env_ = nullptr;
+  std::function<void()> abort_handler_;
+};
+
+}  // namespace gfc::par

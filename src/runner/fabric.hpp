@@ -15,6 +15,10 @@
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
+namespace gfc::par {
+class Engine;
+}
+
 namespace gfc::runner {
 
 /// Build the flow-control module configured in `cfg` (one fresh instance
@@ -24,6 +28,7 @@ std::unique_ptr<net::FcModule> make_fc_module(const ScenarioConfig& cfg);
 class Fabric {
  public:
   Fabric(const topo::Topology& topo, const ScenarioConfig& cfg);
+  ~Fabric();  // out-of-line: par::Engine is incomplete here
 
   net::Network& net() { return net_; }
   const ScenarioConfig& config() const { return cfg_; }
@@ -53,6 +58,10 @@ class Fabric {
   /// The installed tracer (null unless cfg.trace.enabled).
   trace::Tracer* tracer() { return tracer_.get(); }
 
+  /// The parallel core (null when cfg.shards <= 1, or when the scenario
+  /// pinned the sequential engine — faults, ECN, single-switch topology).
+  par::Engine* par_engine() { return engine_.get(); }
+
   /// Node-id -> topo-name resolver for the trace exporters.
   trace::NodeNameFn node_name_fn();
 
@@ -67,6 +76,12 @@ class Fabric {
   /// Declared after net_: the plan unhooks itself before the network dies.
   std::unique_ptr<fault::FaultPlan> fault_plan_;
   std::map<std::pair<topo::NodeIndex, topo::NodeIndex>, int> port_map_;
+  /// Declared last: the engine joins its workers and restores the
+  /// single-threaded wiring before anything else tears down.
+  std::unique_ptr<par::Engine> engine_;
+  /// The campaign sink observed at construction (null outside a worker
+  /// pool); the parallel engine's cancel poll reads it from shard threads.
+  exp::ProgressSink* progress_sink_ = nullptr;
 };
 
 }  // namespace gfc::runner

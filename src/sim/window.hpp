@@ -1,0 +1,76 @@
+// Window-log structures for the sharded parallel core (src/par).
+//
+// In a conservative tau-lookahead window, each shard's Scheduler executes
+// with *provisional* sequence numbers (kProvSeqBit | local counter) and
+// records every globally-visible side effect of every executed event into
+// its WindowLog: sequence-taking scheduler calls, packet-id allocations,
+// staged trace records, and delivery notifications. At the barrier the
+// coordinator replays the per-shard logs in true global (time, seq) order,
+// assigning real sequence numbers and packet ids from the shared global
+// counters — which makes every stat, trace byte and results-store byte
+// identical to the single-threaded engine at any shard count. See
+// src/par/engine.cpp for the merge algorithm and the ordering proof.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gfc::sim {
+
+class Scheduler;
+
+/// Provisional-sequence tag. Keys assigned inside a window carry this bit,
+/// so they compare after every true global sequence number (the global
+/// counter never gets near 2^63) — a pre-window entry always outranks a
+/// same-timestamp in-window insert until the merge assigns true keys.
+inline constexpr std::uint64_t kProvSeqBit = std::uint64_t{1} << 63;
+
+/// One logged side effect of an event executed inside a window.
+struct WinRecord {
+  enum Kind : std::uint8_t {
+    kCall = 0,      // sequence-taking scheduler call (schedule/fire/arm/resched)
+    kAlloc = 1,     // packet-id allocation from a shard pool
+    kTrace = 2,     // staged trace record (aux indexes the shard's stage)
+    kDelivery = 3,  // Network delivery notification (replayed on the merge)
+  };
+  enum Flags : std::uint8_t {
+    kDeferred = 1,     // kCall: targets t >= window end; queued at the barrier
+    kForeignLive = 2,  // kCall: bump the target's live count when applied
+                       // (cross-shard multishot fire_at)
+    kSplit = 4,        // kCall: final-hop wire arrival that completes a flow —
+                       // the coordinator must run it as a boundary step
+  };
+  std::uint8_t kind = kCall;
+  std::uint8_t flags = 0;
+  std::uint32_t slot = 0;  // kCall: callback slot index on the target
+  std::uint32_t gen = 0;   // kCall: slot generation at call time (staleness)
+  std::uint32_t aux = 0;   // kTrace: stage index; kDelivery: payload bytes
+  std::int64_t t = 0;      // kCall: target time; kDelivery: delivery time
+  std::uint64_t prov = 0;  // kCall: provisional seq; kAlloc: provisional
+                           // packet id; kDelivery: flow id
+  void* target = nullptr;  // kCall: foreign Scheduler (null = own);
+                           // kAlloc: the Packet whose id gets patched
+};
+
+/// One executed event: its queue key and its record range.
+struct WinGroup {
+  TimePs t = 0;
+  std::uint64_t key = 0;   // true seq (pre-window entry) or provisional
+  std::uint32_t first = 0; // records [first, first + n) belong to this event
+  std::uint32_t n = 0;
+};
+
+/// Per-shard log of one window. Groups are appended in shard execution
+/// order, which is the global (t, key) order restricted to this shard.
+struct WindowLog {
+  std::vector<WinGroup> groups;
+  std::vector<WinRecord> recs;
+  void clear() {
+    groups.clear();
+    recs.clear();
+  }
+};
+
+}  // namespace gfc::sim

@@ -1,0 +1,40 @@
+// Static shard partitioner for the parallel core (src/par).
+//
+// Splits a topology into n_shards switch-granularity shards: every switch
+// is owned by exactly one shard and each host follows its rack's shard, so
+// host<->edge wires never cross a shard boundary. Partition quality only
+// affects speed (cross-shard wires bound the tau-lookahead window and the
+// barrier traffic), never results: the parallel engine is byte-identical
+// to the single-threaded one for any assignment.
+//
+// Strategy (min-cut-ish, fully deterministic):
+//  * Switches that share a builder pod label with at least one other
+//    switch stay together; pod groups are
+//    LPT-packed onto shards (largest group first, onto the least-loaded
+//    shard, ties by lowest shard id) — for fat-trees this keeps the dense
+//    intra-pod edge<->agg mesh off the cut and only pod<->core links cross.
+//  * Unlabeled switches (pod < 0, e.g. fat-tree cores or ring switches)
+//    are dealt over the shards in contiguous index blocks, rotated by the
+//    seed — contiguous blocks make ring/line cuts minimal, and the seeded
+//    rotation is the deterministic fallback for topologies with no
+//    structure labels at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace gfc::topo {
+
+/// Shard id per topology node index (size node_count()), values in
+/// [0, n_shards). n_shards <= 1 yields all zeros. Deterministic for a
+/// given (topology, n_shards, seed).
+std::vector<int> partition(const Topology& topo, int n_shards,
+                           std::uint64_t seed = 0);
+
+/// Number of links whose endpoints land on different shards (cut size —
+/// diagnostics / tests only).
+std::size_t partition_cut(const Topology& topo, const std::vector<int>& shard);
+
+}  // namespace gfc::topo

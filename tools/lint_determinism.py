@@ -27,17 +27,34 @@ RULES = [
     (re.compile(r"(?<![\w:.])s?rand\s*\("), "unseeded C PRNG (use sim::Rng)"),
     (re.compile(r"unordered_(map|set)"),
      "hash-ordered container (use std::map / std::set)"),
+    (re.compile(r"this_thread::get_id"),
+     "thread identity read (worker identity must never reach results)"),
+]
+
+# Extra rules for the parallel core only: src/par promises byte-identical
+# results at any shard count, so every piece of cross-thread state must be
+# an atomic or sit behind the barrier mutex. These patterns catch the
+# cheap ways to smuggle shared state past that discipline.
+PAR_RULES = [
+    # Skips static member *functions* (a '(' before any '=', ';' or '{').
+    (re.compile(r"^\s*static\s+(?!const\b|constexpr\b|assert)(?![^;{=]*\()"),
+     "mutable static in src/par (shared state outside the barrier protocol)"),
+    (re.compile(r"\bvolatile\b"),
+     "volatile is not synchronization (use std::atomic)"),
+    (re.compile(r"thread_local"),
+     "thread-local state in src/par (worker-dependent results)"),
 ]
 
 SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 
-def lint_file(path: pathlib.Path) -> list[str]:
+def lint_file(path: pathlib.Path, in_par: bool) -> list[str]:
+    rules = RULES + PAR_RULES if in_par else RULES
     findings = []
     for lineno, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
         code = line.split("//", 1)[0]  # comments may name the banned APIs
-        for rule, why in RULES:
+        for rule, why in rules:
             if rule.search(code):
                 findings.append(f"{path}:{lineno}: {why}\n    {line.strip()}")
     return findings
@@ -51,9 +68,10 @@ def main() -> int:
         print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
         return 2
     findings = []
+    par = src / "par"
     for path in sorted(src.rglob("*")):
         if path.suffix in SUFFIXES:
-            findings.extend(lint_file(path))
+            findings.extend(lint_file(path, path.is_relative_to(par)))
     if findings:
         print("determinism lint: %d finding(s)" % len(findings))
         for f in findings:
