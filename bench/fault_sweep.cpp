@@ -64,6 +64,10 @@ analyze::PreflightMode g_preflight = analyze::PreflightMode::kOff;
 // --shards count for every trial fabric; trials with fault injection
 // enabled fall back to the sequential engine (fabric warns once per trial).
 int g_shards = 1;
+// --cbd-free-routing: every scenario swaps its routing for the up*/down*
+// CBD-free tables. Composed with --analyze=fail this makes the campaign
+// assert the restriction removed the cycles on every topology it visits.
+bool g_cbd_free = false;
 
 ScenarioConfig config_for(const MechSpec& m, std::uint64_t base) {
   ScenarioConfig cfg;
@@ -74,6 +78,8 @@ ScenarioConfig config_for(const MechSpec& m, std::uint64_t base) {
   // every registered mechanism is derivable at the default 300 KB buffer.
   cfg.fc = mech::setup_for(m, cfg.switch_buffer, cfg.link.rate, cfg.tau())
                .value();
+  // OR, not assignment: the CBD-routing mechanism spec already sets it.
+  cfg.fc.cbd_free_routing |= g_cbd_free;
   return cfg;
 }
 
@@ -230,6 +236,10 @@ exp::TrialResult run_flap_trial(const MechSpec& m, std::uint64_t base,
                                 const std::string& trial_name) {
   ScenarioConfig cfg = config_for(m, base);
   cfg.trace = cli.trace_options();
+  // Soundness oracle: keep the incremental re-analysis live across the
+  // flap's reroutes and cross-check any runtime deadlock witness against
+  // the static enumeration (a miss throws and fails the trial).
+  cfg.witness_check = true;
   FatTreeScenario s = make_fattree(cfg, 4);
   const auto switch_links = s.topo.switch_links();
   const topo::LinkIndex li = switch_links[switch_links.size() / 2];
@@ -260,7 +270,10 @@ exp::TrialResult run_flap_trial(const MechSpec& m, std::uint64_t base,
       .add("wire_lost", s.fabric->net().counters().wire_lost_packets)
       .add("failover_drops", s.fabric->net().counters().failover_drops)
       .add("downs", sched.downs())
-      .add("ups", sched.ups());
+      .add("ups", sched.ups())
+      .add("analyze_reverdicts", r.analyze_reverdicts)
+      .add("analyze_verdict", r.analyze_verdict)
+      .add("witness_checks", r.witness_checks);
 }
 
 }  // namespace
@@ -269,6 +282,7 @@ int main(int argc, char** argv) {
   const exp::CliOptions cli = exp::parse_cli(argc, argv);
   g_preflight = cli.preflight;
   g_shards = cli.sim_shards;
+  g_cbd_free = cli.cbd_free_routing;
   bench::header("Fault sweep: flow control under control-frame loss, "
                 "deadlock recovery, link flaps",
                 "robustness study; extends Table 1 / Fig 9 to runtime faults");
@@ -403,23 +417,29 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n(3) mid-run link flap (fat-tree k=4, closed loop)\n"
-              "  %-12s %8s %10s %10s %10s %6s\n", "mechanism", "gbps",
-              "completed", "wire_lost", "rerouted*", "flaps");
+              "  %-12s %8s %10s %10s %10s %6s %9s %13s\n", "mechanism", "gbps",
+              "completed", "wire_lost", "rerouted*", "flaps", "verdicts",
+              "final_verdict");
   for (const MechSpec& m : {mechs[1], mechs[4]}) {
     const exp::TrialRecord* t =
         result.find("flap/fattree-k4/" + std::string(m.name));
     if (!t || !t->ok()) continue;
     std::printf(
-        "  %-12s %8.2f %10lld %10lld %10lld %3d/%-2d\n", m.name.c_str(),
-        t->metrics.find("gbps")->as_double(),
+        "  %-12s %8.2f %10lld %10lld %10lld %3d/%-2d %9lld %13s\n",
+        m.name.c_str(), t->metrics.find("gbps")->as_double(),
         static_cast<long long>(t->metrics.find("flows_completed")->as_int()),
         static_cast<long long>(t->metrics.find("wire_lost")->as_int()),
         static_cast<long long>(t->metrics.find("failover_drops")->as_int()),
         static_cast<int>(t->metrics.find("downs")->as_int()),
-        static_cast<int>(t->metrics.find("ups")->as_int()));
+        static_cast<int>(t->metrics.find("ups")->as_int()),
+        static_cast<long long>(
+            t->metrics.find("analyze_reverdicts")->as_int()),
+        t->metrics.find("analyze_verdict")->as_string().c_str());
   }
   std::printf("  (* failover_drops: stranded behind the dead egress with no "
-              "alternative route)\n");
+              "alternative route;\n   verdicts = static re-analyses issued by "
+              "install_routing: 1 initial + 1 per\n   flap transition, each "
+              "cross-checked against runtime deadlock witnesses)\n");
 
   std::printf("\n(4) mechanism x scenario matrix (no faults; prevention vs "
               "detection vs avoidance)\n");

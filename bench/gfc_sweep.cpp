@@ -29,7 +29,8 @@ struct SweepPoint {
 };
 
 exp::TrialResult run_point(const SweepPoint& pt, sim::TimePs duration,
-                           analyze::PreflightMode preflight, int shards) {
+                           analyze::PreflightMode preflight, int shards,
+                           bool cbd_free) {
   ScenarioConfig cfg;
   cfg.preflight = preflight;
   cfg.shards = shards;
@@ -44,6 +45,7 @@ exp::TrialResult run_point(const SweepPoint& pt, sim::TimePs duration,
   out.add("feasible", fc.has_value());
   if (!fc) return out;  // bound <= 0: nothing to simulate
   cfg.fc = *fc;
+  cfg.fc.cbd_free_routing = cbd_free;
   out.add("threshold_b", cfg.fc.kind == FcKind::kGfcBuffer ? cfg.fc.b1
                                                            : cfg.fc.b0);
 
@@ -121,9 +123,11 @@ int main(int argc, char** argv) {
                        std::to_string(static_cast<int>(pt.wire_m)) + "m";
     const analyze::PreflightMode preflight = cli.preflight;
     const int shards = cli.sim_shards;
-    campaign.add(std::move(name), p, [pt, duration, preflight, shards] {
-      return run_point(pt, duration, preflight, shards);
-    });
+    const bool cbd_free = cli.cbd_free_routing;
+    campaign.add(std::move(name), p,
+                 [pt, duration, preflight, shards, cbd_free] {
+                   return run_point(pt, duration, preflight, shards, cbd_free);
+                 });
   }
 
   const exp::CampaignResult result = exp::run_campaign_cli(campaign, cli);

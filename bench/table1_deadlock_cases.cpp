@@ -147,11 +147,13 @@ int main(int argc, char** argv) {
         const std::uint64_t base = cli.seed;
         const analyze::PreflightMode preflight = cli.preflight;
         const int shards = cli.sim_shards;
+        const bool cbd_free = cli.cbd_free_routing;
         const bool is_dcfit = spec->kind == FcKind::kDcfit;
         campaign.add(
             "k" + std::to_string(s.k) + "/seed" + std::to_string(c.seed) +
                 "/" + spec->name,
-            std::move(p), [spec, k, dur, c, base, preflight, shards, is_dcfit] {
+            std::move(p),
+            [spec, k, dur, c, base, preflight, shards, cbd_free, is_dcfit] {
               ScenarioConfig cfg;
               cfg.preflight = preflight;
               cfg.shards = shards;
@@ -160,6 +162,10 @@ int main(int argc, char** argv) {
               cfg.fc = mech::setup_for(*spec, cfg.switch_buffer, cfg.link.rate,
                                        cfg.tau())
                            .value();
+              // --cbd-free-routing: reroute every row onto the up*/down*
+              // tables (the stress probe then exercises a cycle-free fabric,
+              // so with --analyze=fail every trial must pass pre-flight).
+              cfg.fc.cbd_free_routing |= cbd_free;
               auto sc = make_fattree(cfg, k, c.failed);
               net::Network& net = sc.fabric->net();
               for (const auto& f : c.stress_flows) {
@@ -202,8 +208,9 @@ int main(int argc, char** argv) {
     const std::uint64_t base = cli.seed;
     const analyze::PreflightMode preflight = cli.preflight;
     const int shards = cli.sim_shards;
+    const bool cbd_free = cli.cbd_free_routing;
     campaign.add("xval/k4/seed" + std::to_string(c.seed), std::move(p),
-                 [c, base, preflight, shards] {
+                 [c, base, preflight, shards, cbd_free] {
                    ScenarioConfig cfg;
                    cfg.preflight = preflight;
                    cfg.shards = shards;
@@ -211,6 +218,7 @@ int main(int argc, char** argv) {
                    cfg.switch_buffer = 300'000;
                    cfg.fc = FcSetup::derive(FcKind::kPfc, cfg.switch_buffer,
                                             cfg.link.rate, cfg.tau());
+                   cfg.fc.cbd_free_routing = cbd_free;
                    auto sc = make_fattree(cfg, 4, c.failed);
                    RunOptions opts;
                    opts.duration = sim::ms(8);

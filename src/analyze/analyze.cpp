@@ -4,6 +4,7 @@
 #include <map>
 
 #include "analyze/cycles.hpp"
+#include "analyze/detail.hpp"
 #include "net/packet.hpp"
 
 namespace gfc::analyze {
@@ -24,6 +25,10 @@ bool Report::bounds_ok() const {
 
 Verdict Report::verdict() const {
   if (cbd_free()) return Verdict::kDeadlockFree;
+  // A truncated enumeration saw only a prefix of the cycle set: any
+  // safety argument quantified over "all cycles" is void, whatever the
+  // mechanism, so never report better than at_risk from it.
+  if (truncated) return Verdict::kAtRisk;
   // Circular wait exists; the mechanism decides whether hold-and-wait can
   // complete the deadlock. PFC and CBFC block indefinitely once paused /
   // out of credit. GFC's rate floor means every port always drains — but
@@ -63,28 +68,12 @@ std::vector<DirectedLink> switch_hops(const topo::Topology& topo,
   return hops;
 }
 
-void enumerate_cbd(const Input& in, Report* rep) {
-  topo::BufferDependencyGraph graph(*in.topo);
-  graph.add_routing_closure(*in.routing);
-  const auto& links = graph.links();
-  const auto& adj = graph.adjacency();
-  rep->bdg_vertices = links.size();
-  for (const auto& out : adj) rep->bdg_edges += out.size();
-
-  const auto sccs = strongly_connected_components(adj);
-  rep->sccs = sccs.size();
-  for (const auto& comp : sccs) {
-    const bool cyclic =
-        comp.size() > 1 ||
-        [&] {
-          const auto& o = adj[static_cast<std::size_t>(comp.front())];
-          return std::find(o.begin(), o.end(), comp.front()) != o.end();
-        }();
-    if (cyclic) ++rep->cyclic_sccs;
-  }
-
-  const CycleEnumeration enumeration = elementary_cycles(adj, in.max_cycles);
-  rep->truncated = enumeration.truncated;
+/// Per-cycle metadata over an already-canonical link-form cycle list:
+/// names, flow coverage, activation — everything downstream of the graph
+/// construction the incremental path shortcuts.
+void fill_cycle_infos(const Input& in, detail::LinkCycles cycles,
+                      Report* rep) {
+  rep->truncated = cycles.truncated;
 
   // Dependency edges each configured flow induces along its traced path.
   std::vector<std::vector<std::pair<DirectedLink, DirectedLink>>> flow_edges;
@@ -97,11 +86,9 @@ void enumerate_cbd(const Input& in, Report* rep) {
     flow_edges.push_back(std::move(edges));
   }
 
-  for (const auto& cyc : enumeration.cycles) {
+  for (auto& cyc : cycles.cycles) {
     CycleInfo info;
-    for (const int v : cyc)
-      info.links.push_back(links[static_cast<std::size_t>(v)]);
-    topo::canonicalize_cycle(&info.links);
+    info.links = std::move(cyc);
     for (const auto& [from, to] : info.links)
       info.link_names.push_back(in.topo->node(from).name + "->" +
                                 in.topo->node(to).name);
@@ -128,6 +115,7 @@ void enumerate_cbd(const Input& in, Report* rep) {
     rep->cycles.push_back(std::move(info));
   }
   // Canonical list order: by length, then by the link sequence itself.
+  // Link form is numbering-independent, so this order is too.
   std::sort(rep->cycles.begin(), rep->cycles.end(),
             [](const CycleInfo& a, const CycleInfo& b) {
               if (a.links.size() != b.links.size())
@@ -298,7 +286,24 @@ void lint_routing(const Input& in, Report* rep) {
 
 }  // namespace
 
-Report analyze(const Input& in) {
+namespace detail {
+
+LinkCycles to_link_cycles(const std::vector<DirectedLink>& links,
+                          const CycleEnumeration& enumeration) {
+  LinkCycles out;
+  out.truncated = enumeration.truncated;
+  for (const auto& cyc : enumeration.cycles) {
+    std::vector<DirectedLink> cycle;
+    for (const int v : cyc) cycle.push_back(links[static_cast<std::size_t>(v)]);
+    topo::canonicalize_cycle(&cycle);
+    out.cycles.push_back(std::move(cycle));
+  }
+  return out;
+}
+
+Report finish_report(const Input& in, const std::vector<DirectedLink>& links,
+                     const std::vector<std::vector<int>>& adj,
+                     LinkCycles cycles) {
   Report rep;
   rep.scenario = in.scenario;
   rep.mechanism_kind = in.cfg.fc.kind;
@@ -314,10 +319,51 @@ Report analyze(const Input& in) {
   rep.tau_processing = in.cfg.control_delay;
   rep.tau_total = in.cfg.tau();
 
-  enumerate_cbd(in, &rep);
+  rep.bdg_vertices = links.size();
+  for (const auto& out : adj) rep.bdg_edges += out.size();
+  const auto sccs = strongly_connected_components(adj);
+  rep.sccs = sccs.size();
+  for (const auto& comp : sccs) {
+    const bool cyclic =
+        comp.size() > 1 ||
+        [&] {
+          const auto& o = adj[static_cast<std::size_t>(comp.front())];
+          return std::find(o.begin(), o.end(), comp.front()) != o.end();
+        }();
+    if (cyclic) ++rep.cyclic_sccs;
+  }
+
+  if (cycles.truncated) {
+    const std::string label =
+        in.scenario.empty() ? std::string() : in.scenario + ": ";
+    std::fprintf(stderr,
+                 "analyze: %scycle enumeration truncated at %zu cycles; "
+                 "verdict degraded to at_risk\n",
+                 label.c_str(), in.max_cycles);
+  }
+  fill_cycle_infos(in, std::move(cycles), &rep);
   check_bounds(in, &rep);
   lint_routing(in, &rep);
   return rep;
+}
+
+}  // namespace detail
+
+Report analyze(const Input& in) {
+  topo::BufferDependencyGraph graph(*in.topo);
+  graph.add_routing_closure(*in.routing);
+  const CycleEnumeration enumeration =
+      elementary_cycles(graph.adjacency(), in.max_cycles);
+  return detail::finish_report(
+      in, graph.links(), graph.adjacency(),
+      detail::to_link_cycles(graph.links(), enumeration));
+}
+
+bool report_contains_cycle(const Report& rep,
+                           const std::vector<topo::DirectedLink>& cycle) {
+  return std::any_of(
+      rep.cycles.begin(), rep.cycles.end(),
+      [&](const CycleInfo& info) { return info.links == cycle; });
 }
 
 CbdScreen screen_cbd(const topo::Topology& topo,
@@ -334,6 +380,20 @@ CbdScreen screen_cbd(const topo::Topology& topo,
   return out;
 }
 
+Verdict preflight_verdict(PreflightMode mode, const Report& rep) {
+  const Verdict v = rep.verdict();
+  if (mode == PreflightMode::kOff) return v;
+  if (v != Verdict::kDeadlockFree || !rep.lints.empty()) {
+    const std::string label =
+        rep.scenario.empty() ? std::string() : rep.scenario + ": ";
+    std::fprintf(stderr, "preflight %s%s\n", label.c_str(),
+                 rep.summary().c_str());
+  }
+  if (mode == PreflightMode::kFail && v == Verdict::kAtRisk)
+    throw PreflightError("preflight: " + rep.summary());
+  return v;
+}
+
 Verdict preflight(PreflightMode mode, const topo::Topology& topo,
                   const topo::RoutingTable& routing,
                   const runner::ScenarioConfig& cfg,
@@ -344,16 +404,7 @@ Verdict preflight(PreflightMode mode, const topo::Topology& topo,
   in.routing = &routing;
   in.cfg = cfg;
   in.scenario = scenario;
-  const Report rep = analyze(in);
-  const Verdict v = rep.verdict();
-  if (v != Verdict::kDeadlockFree || !rep.lints.empty()) {
-    std::string label = scenario.empty() ? std::string() : scenario + ": ";
-    std::fprintf(stderr, "preflight %s%s\n", label.c_str(),
-                 rep.summary().c_str());
-  }
-  if (mode == PreflightMode::kFail && v == Verdict::kAtRisk)
-    throw PreflightError("preflight: " + rep.summary());
-  return v;
+  return preflight_verdict(mode, analyze(in));
 }
 
 }  // namespace gfc::analyze

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -77,6 +78,55 @@ enum class Verdict {
 
 const char* verdict_name(Verdict v);
 
+/// One <=k-link-failure combination's re-analysis in a failure sweep.
+struct FailureCombo {
+  /// Failed switch-switch link indices, ascending (a combination).
+  std::vector<topo::LinkIndex> links;
+  /// Each failed link as "A-B" endpoint names (same order).
+  std::vector<std::string> link_names;
+  Verdict verdict = Verdict::kDeadlockFree;
+  std::size_t cycle_count = 0;
+  bool truncated = false;
+  /// Some host pair became unroutable under this combo.
+  bool disconnects = false;
+  /// Baseline verdict was kDeadlockFree and this combo's is not: the
+  /// failures manufactured a circular wait that wasn't there.
+  bool flips = false;
+};
+
+/// `gfc-analyze --failures k`: every combination of at most k
+/// switch-to-switch link failures, re-routed (shortest paths over the
+/// surviving topology) and re-analyzed. See sweep.hpp.
+struct FailureSweep {
+  int max_failures = 0;
+  Verdict baseline = Verdict::kDeadlockFree;
+  std::size_t combos = 0;   // combinations examined
+  std::size_t flipped = 0;  // combos with flips == true
+  std::vector<FailureCombo> results;
+  /// Minimal culprit sets: indices (into results) of flipping combos no
+  /// proper subset of which flips — the smallest failure patterns that
+  /// break the deadlock-freedom argument.
+  std::vector<std::size_t> culprits;
+};
+
+/// One proposed repair: a removal set that breaks every targeted cycle,
+/// statically re-verified. See repair.hpp.
+struct RepairSuggestion {
+  std::string kind;                   // "link_removal" | "turn_restriction"
+  std::vector<std::string> removals;  // link names "A-B" or turns "A->B->C"
+  std::size_t cycles_broken = 0;
+  bool verified_cbd_free = false;
+};
+
+/// `gfc-analyze --suggest-repairs`: greedy minimal hitting sets over the
+/// enumerated (preferring activated) cycles.
+struct Repairs {
+  /// True when only activated cycles were targeted (some were activated);
+  /// false means every enumerated cycle was targeted.
+  bool targeting_activated = false;
+  std::vector<RepairSuggestion> suggestions;
+};
+
 /// A flow whose concrete path should be checked against the cycles.
 struct FlowSpec {
   topo::NodeIndex src = -1;
@@ -122,13 +172,20 @@ struct Report {
   std::vector<BoundCheck> bounds;
   std::vector<LintFinding> lints;
 
+  /// Engaged only by sweep_failures() / suggest_repairs(); absent from
+  /// the plain analyze() report (and from its JSON).
+  std::optional<FailureSweep> failure_sweep;
+  std::optional<Repairs> repairs;
+
   /// No CBD at all (and the enumeration saw the whole graph).
   bool cbd_free() const { return cycles.empty() && !truncated; }
   /// Every verified inequality holds.
   bool bounds_ok() const;
+  /// Truncated enumerations are always kAtRisk: a verdict from a prefix
+  /// of the cycle set proves nothing about the cycles it never saw.
   Verdict verdict() const;
 
-  /// Deterministic pretty-printed JSON ("gfc-analyze-v1" schema).
+  /// Deterministic pretty-printed JSON ("gfc-analyze-v2" schema).
   std::string json() const;
   /// Human report; `out` defaults to stdout.
   void print_human(std::FILE* out = nullptr) const;
@@ -138,6 +195,13 @@ struct Report {
 };
 
 Report analyze(const Input& in);
+
+/// Is `cycle` (canonical form; see topo::canonicalize_cycle) one of the
+/// report's enumerated cycles? The membership test behind the runtime
+/// witness cross-check: every deadlock the detector catches must appear
+/// in the current static enumeration, or the analyzer is unsound.
+bool report_contains_cycle(const Report& rep,
+                           const std::vector<topo::DirectedLink>& cycle);
 
 /// Cheap CBD-prone screening over the full ECMP routing closure — the
 /// pre-filter large topology sweeps (paper-scale Table 1) run per sample
@@ -163,6 +227,13 @@ class PreflightError : public std::runtime_error {
   explicit PreflightError(const std::string& what)
       : std::runtime_error(what) {}
 };
+
+/// The verdict-and-side-effect half of preflight(), for callers that
+/// already hold a Report (the incremental analyzer in Fabric): print the
+/// summary to stderr when the verdict isn't clean, throw PreflightError
+/// on kAtRisk under kFail, return the verdict. Prints nothing and never
+/// throws under kOff.
+Verdict preflight_verdict(PreflightMode mode, const Report& rep);
 
 /// The Fabric::install_routing hook: analyze, report risks on stderr
 /// (kWarn/kFail), throw PreflightError on kAtRisk under kFail. Returns

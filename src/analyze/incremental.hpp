@@ -1,0 +1,102 @@
+// Fault-aware incremental re-analysis.
+//
+// A link flap (src/fault) followed by a routing recompute invalidates the
+// pre-flight verdict; re-running analyze() from scratch on every flap is
+// wasteful because most of the work is untouched: a failed link changes
+// the routing columns of only the destinations it carried, and most
+// strongly-connected components of the buffer-dependency graph keep the
+// exact same shape.
+//
+// IncrementalAnalyzer exploits both:
+//
+//  1. Per-destination closure-op caching. The graph construction is the
+//     concatenation of per-destination op sequences (see
+//     topo::destination_closure_ops), each a pure function of the routing
+//     column toward that destination. Columns are compared by *exact
+//     equality* (never a hash — a collision would silently break
+//     byte-identity); unchanged columns replay their cached ops.
+//  2. Per-SCC cycle caching. Elementary cycles never cross SCC
+//     boundaries, so each cyclic SCC is enumerated alone and the result
+//     cached under the SCC's canonical link-form shape (sorted member
+//     links + sorted edges). A recurring shape — the common case when a
+//     flap rewires one corner of a fat tree — reuses its cycle set.
+//
+// Every update() ends in the same detail::finish_report() seam analyze()
+// uses, so the produced Report (and its JSON) is byte-identical to a
+// from-scratch analyze() on the current topology + routing — the
+// invariant the randomized flap differential test
+// (tests/incremental_test.cpp) enforces. Whenever any per-SCC
+// enumeration truncates, or the union exceeds max_cycles, the analyzer
+// falls back to one exact whole-graph enumeration on the identical
+// adjacency, which preserves the equivalence by construction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+
+namespace gfc::analyze {
+
+class IncrementalAnalyzer {
+ public:
+  struct Stats {
+    std::size_t updates = 0;
+    std::size_t dst_recomputed = 0;    // routing column changed
+    std::size_t dst_reused = 0;        // cached ops replayed
+    std::size_t scc_enumerations = 0;  // Johnson runs on one SCC
+    std::size_t scc_reused = 0;        // cycle set served from cache
+    std::size_t full_fallbacks = 0;    // exact whole-graph re-enumeration
+  };
+
+  /// `in.topo` must outlive the analyzer; its *current* link state is
+  /// read on every update(). `in.routing` may be null — each update()
+  /// names the routing explicitly.
+  explicit IncrementalAnalyzer(Input in) : in_(std::move(in)) {}
+
+  /// Re-analyze the topology's current state under `routing`. The result
+  /// is byte-identical to analyze() with the same Input. The reference is
+  /// only borrowed for the duration of the call.
+  const Report& update(const topo::RoutingTable& routing);
+
+  /// The last update()'s report. Empty-initialized before the first call.
+  const Report& report() const { return report_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct DstCache {
+    /// Exact routing column this cache entry was computed from:
+    /// next_hops(x, dst) for every node x, in node order. Starts empty
+    /// (never equal to a real column), so first use always recomputes.
+    std::vector<std::vector<topo::NodeIndex>> column;
+    std::vector<topo::ClosureOp> ops;
+  };
+
+  /// Canonical, vertex-numbering-independent shape of one cyclic SCC.
+  struct SccShape {
+    std::vector<topo::DirectedLink> members;  // sorted
+    std::vector<std::pair<topo::DirectedLink, topo::DirectedLink>>
+        edges;  // sorted
+    bool operator==(const SccShape& o) const {
+      return members == o.members && edges == o.edges;
+    }
+  };
+  struct SccCacheEntry {
+    SccShape shape;
+    /// Canonical link-form cycles, from a complete (never truncated)
+    /// enumeration of this SCC.
+    std::vector<std::vector<topo::DirectedLink>> cycles;
+  };
+
+  Input in_;
+  /// Parallel to in_.topo->hosts() (the destination order the from-scratch
+  /// closure uses).
+  std::vector<DstCache> dst_cache_;
+  /// Linear-scanned, FIFO-evicted (insertion order — deterministic).
+  std::vector<SccCacheEntry> scc_cache_;
+  Report report_;
+  Stats stats_;
+};
+
+}  // namespace gfc::analyze

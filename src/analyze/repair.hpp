@@ -1,0 +1,32 @@
+// `gfc-analyze --suggest-repairs`: from diagnosis to prescription.
+//
+// Given an at-risk report, propose minimal-ish sets of removals that
+// break every targeted cycle (the activated ones when any are — those are
+// the cycles this scenario's flows can actually fill — otherwise all of
+// them), via greedy minimum hitting set (the classic ln(n)-approximation;
+// exact minimality is NP-hard):
+//
+//  * link_removal — physical switch-to-switch links; hitting a link kills
+//    both directed buffer vertices riding on it. Verified by failing the
+//    links on a scratch topology, recomputing shortest paths, and
+//    re-running the full analysis: the suggestion is marked
+//    verified_cbd_free only if the *rerouted* fabric really has no CBD
+//    (greedy breaks the enumerated cycles, but rerouting can mint new
+//    ones — the verification catches exactly that).
+//  * turn_restriction — dependency edges a->b->c (don't forward traffic
+//    that arrived over a->b onto b->c), the up*/down* style fix that
+//    keeps all links. Verified by deleting the edges from the dependency
+//    graph and checking every SCC is acyclic.
+#pragma once
+
+#include "analyze/analyze.hpp"
+
+namespace gfc::analyze {
+
+/// Compute repair suggestions for `rep` (a report produced from `in`).
+/// Returns an empty suggestion list when the report has no cycles.
+/// Deterministic: greedy ties break toward the lexicographically smallest
+/// element.
+Repairs suggest_repairs(const Input& in, const Report& rep);
+
+}  // namespace gfc::analyze

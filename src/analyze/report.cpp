@@ -1,6 +1,8 @@
-// Report rendering: deterministic "gfc-analyze-v1" JSON (byte-identical
+// Report rendering: deterministic "gfc-analyze-v2" JSON (byte-identical
 // across runs, platforms and job counts — same discipline as the campaign
-// results store) and the human-readable console form.
+// results store) and the human-readable console form. v2 over v1: the
+// optional "failure_sweep" / "repairs" sections (emitted only when
+// engaged) and the truncated-implies-at_risk verdict rule.
 #include <cstdio>
 
 #include "analyze/analyze.hpp"
@@ -52,7 +54,7 @@ std::string Report::summary() const {
 std::string Report::json() const {
   std::string out;
   out += "{\n";
-  out += "  \"schema\": \"gfc-analyze-v1\",\n";
+  out += "  \"schema\": \"gfc-analyze-v2\",\n";
   out += "  \"scenario\": " + quote(scenario) + ",\n";
   out += "  \"mechanism\": " + quote(mechanism) + ",\n";
   out += "  \"hosts\": " + std::to_string(hosts) + ",\n";
@@ -106,6 +108,53 @@ std::string Report::json() const {
            quote(lints[i].message) + "}";
   }
   out += lints.empty() ? "],\n" : "\n  ],\n";
+  if (failure_sweep) {
+    const FailureSweep& fs = *failure_sweep;
+    out += "  \"failure_sweep\": {\n";
+    out += "    \"max_failures\": " + std::to_string(fs.max_failures) + ",\n";
+    out += "    \"baseline\": " + quote(verdict_name(fs.baseline)) + ",\n";
+    out += "    \"combos\": " + std::to_string(fs.combos) + ",\n";
+    out += "    \"flipped\": " + std::to_string(fs.flipped) + ",\n";
+    out += "    \"results\": [";
+    for (std::size_t i = 0; i < fs.results.size(); ++i) {
+      const FailureCombo& c = fs.results[i];
+      out += i ? ",\n      " : "\n      ";
+      out += "{\"failed\": " + json_string_array(c.link_names);
+      out += ", \"verdict\": " + quote(verdict_name(c.verdict));
+      out += ", \"cycles\": " + std::to_string(c.cycle_count);
+      out += std::string(", \"truncated\": ") + (c.truncated ? "true" : "false");
+      out +=
+          std::string(", \"disconnects\": ") + (c.disconnects ? "true" : "false");
+      out += std::string(", \"flips\": ") + (c.flips ? "true" : "false");
+      out += "}";
+    }
+    out += fs.results.empty() ? "],\n" : "\n    ],\n";
+    out += "    \"culprits\": [";
+    for (std::size_t i = 0; i < fs.culprits.size(); ++i) {
+      out += i ? ",\n      " : "\n      ";
+      out += json_string_array(fs.results[fs.culprits[i]].link_names);
+    }
+    out += fs.culprits.empty() ? "]\n" : "\n    ]\n";
+    out += "  },\n";
+  }
+  if (repairs) {
+    out += "  \"repairs\": {\n";
+    out += std::string("    \"targeting_activated\": ") +
+           (repairs->targeting_activated ? "true" : "false") + ",\n";
+    out += "    \"suggestions\": [";
+    for (std::size_t i = 0; i < repairs->suggestions.size(); ++i) {
+      const RepairSuggestion& s = repairs->suggestions[i];
+      out += i ? ",\n      " : "\n      ";
+      out += "{\"kind\": " + quote(s.kind);
+      out += ", \"removals\": " + json_string_array(s.removals);
+      out += ", \"cycles_broken\": " + std::to_string(s.cycles_broken);
+      out += std::string(", \"verified_cbd_free\": ") +
+             (s.verified_cbd_free ? "true" : "false");
+      out += "}";
+    }
+    out += repairs->suggestions.empty() ? "]\n" : "\n    ]\n";
+    out += "  },\n";
+  }
   out += "  \"verdict\": " + quote(verdict_name(verdict())) + "\n";
   out += "}\n";
   return out;
@@ -154,6 +203,39 @@ void Report::print_human(std::FILE* out) const {
   }
   for (const LintFinding& l : lints)
     std::fprintf(out, "  lint [%s] %s\n", l.kind.c_str(), l.message.c_str());
+  if (failure_sweep) {
+    const FailureSweep& fs = *failure_sweep;
+    std::fprintf(out,
+                 "  failure sweep (<= %d failures): %zu combos, %zu flip "
+                 "%s -> risky\n",
+                 fs.max_failures, fs.combos, fs.flipped,
+                 verdict_name(fs.baseline));
+    for (const std::size_t ci : fs.culprits) {
+      const FailureCombo& c = fs.results[ci];
+      std::string line;
+      for (std::size_t i = 0; i < c.link_names.size(); ++i) {
+        if (i) line += " + ";
+        line += c.link_names[i];
+      }
+      std::fprintf(out, "    culprit: %s (%zu cycle%s%s)\n", line.c_str(),
+                   c.cycle_count, c.cycle_count == 1 ? "" : "s",
+                   c.disconnects ? ", disconnects hosts" : "");
+    }
+  }
+  if (repairs) {
+    for (const RepairSuggestion& s : repairs->suggestions) {
+      std::string line;
+      for (std::size_t i = 0; i < s.removals.size(); ++i) {
+        if (i) line += ", ";
+        line += s.removals[i];
+      }
+      std::fprintf(out, "  repair [%s] remove {%s}: breaks %zu cycle%s, %s\n",
+                   s.kind.c_str(), line.c_str(), s.cycles_broken,
+                   s.cycles_broken == 1 ? "" : "s",
+                   s.verified_cbd_free ? "re-verified CBD-free"
+                                       : "NOT verified CBD-free");
+    }
+  }
   std::fprintf(out, "  verdict: %s\n", verdict_name(verdict()));
 }
 

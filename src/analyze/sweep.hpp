@@ -1,0 +1,26 @@
+// `gfc-analyze --failures k`: exhaustive failure-conditioned analysis.
+//
+// The pre-flight verdict certifies the fabric as built; the sweep asks
+// the operational question — does the certificate survive faults? Every
+// combination of at most k switch-to-switch link failures is applied to
+// a scratch copy of the topology, routing is recomputed (shortest paths
+// over the survivors, matching what Fabric's mid-run reroute does after a
+// flap — even scenarios whose *initial* routing is pinned, like the
+// clockwise ring, reroute via SPF), and the full analysis reruns over the
+// rerouted ECMP closure. Combos that flip a deadlock_free baseline to a
+// risky verdict are the interesting output; the minimal ones (no flipping
+// proper subset) are reported as culprit sets.
+#pragma once
+
+#include "analyze/analyze.hpp"
+
+namespace gfc::analyze {
+
+/// Run the baseline analysis plus the <=max_failures sweep. Returns the
+/// baseline Report with Report::failure_sweep engaged. Combos are
+/// enumerated in lexicographic candidate order by size then position, so
+/// the report is byte-deterministic. `in.topo` / `in.routing` are not
+/// mutated (the sweep works on copies).
+Report sweep_failures(const Input& in, int max_failures);
+
+}  // namespace gfc::analyze

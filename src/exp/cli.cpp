@@ -16,6 +16,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--quick] [--jobs N] [--seed N] [--scale F] "
                "[--json PATH] [--timing] [--no-progress] [--analyze[=fail]] "
+               "[--cbd-free-routing] "
                "[--trace] [--trace-out DIR] [--trace-categories LIST] "
                "[--resume PATH]... [--journal PATH] [--trial-timeout SECS] "
                "[--retries N] [--shard I/N] [--shards N] [--wedge TRIAL]\n",
@@ -140,6 +141,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.preflight = analyze::PreflightMode::kFail;
     } else if (!std::strcmp(a, "--analyze=warn")) {
       opts.preflight = analyze::PreflightMode::kWarn;
+    } else if (!std::strcmp(a, "--cbd-free-routing")) {
+      opts.cbd_free_routing = true;
     } else if (!std::strcmp(a, "--trace")) {
       opts.trace = true;
     } else if ((v = flag_value(argv[0], "--trace-out", argc, argv, &i))) {

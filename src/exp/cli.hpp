@@ -13,6 +13,11 @@
 //                         deadlock,flow) or "all"       [default all]
 //   --analyze[=fail]      static pre-flight deadlock-risk analysis per
 //                         fabric: warn on stderr, or fail the trial
+//   --cbd-free-routing    replace every scenario's routing with the
+//                         up*/down* CBD-free tables (FcSetup's
+//                         cbd_free_routing); composes with --analyze=fail
+//                         to assert the restriction actually removes the
+//                         cycles
 // Crash-safe campaign execution (see exp/journal.hpp, exp/worker_pool.hpp):
 //   --resume PATH         journal-backed run: load PATH if it exists
 //                         (skipping completed trials), append each newly
@@ -72,6 +77,13 @@ struct CliOptions {
   /// Static pre-flight analysis mode for every fabric the binary builds
   /// (assign to ScenarioConfig::preflight after parse_cli).
   analyze::PreflightMode preflight = analyze::PreflightMode::kOff;
+
+  /// Route restriction for every scenario the binary builds (assign to
+  /// FcSetup::cbd_free_routing after parse_cli; the scenario builders
+  /// honor it). With --analyze=fail this turns the campaign into a proof
+  /// that the restricted routing really is cycle-free on every topology
+  /// the sweep visits.
+  bool cbd_free_routing = false;
 
   // Tracing (see src/trace/): each trial gets its own Tracer, so artifacts
   // are deterministic at any --jobs.

@@ -268,7 +268,15 @@ struct ScenarioConfig {
   /// Static pre-flight analysis (src/analyze/), run when a Fabric installs
   /// its routing: kWarn reports deadlock risks on stderr, kFail throws
   /// analyze::PreflightError on an at-risk verdict. Off by default.
+  /// Re-installs (mid-run reroutes after link flaps) re-analyze
+  /// incrementally and re-issue the verdict — see Fabric::analysis().
   analyze::PreflightMode preflight = analyze::PreflightMode::kOff;
+
+  /// Soundness oracle: keep the incremental analyzer's report current even
+  /// under PreflightMode::kOff (no stderr, no throw) so the runner can
+  /// cross-validate every runtime deadlock witness cycle against the
+  /// static enumeration (runner::check_witness_cycle). Off by default.
+  bool witness_check = false;
 
   /// Worst-case feedback latency for these parameters (Eq. 6 with this
   /// config's processing delay).

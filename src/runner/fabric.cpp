@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "analyze/analyze.hpp"
+#include "analyze/incremental.hpp"
 #include "core/gfc_buffer.hpp"
 #include "core/gfc_conceptual.hpp"
 #include "core/gfc_time.hpp"
@@ -83,6 +84,8 @@ Fabric::Fabric(const topo::Topology& topo, const ScenarioConfig& cfg)
         net_.connect(link.a, link.b, cfg.link.rate, cfg.link.prop_delay);
     port_map_[{link.a, link.b}] = pa;
     port_map_[{link.b, link.a}] = pb;
+    peer_map_[{link.a, pa}] = link.b;
+    peer_map_[{link.b, pb}] = link.a;
   }
   // Parallel core: attach before flow control so every FC timer lands on
   // its owner's shard scheduler with a globally-sequenced key. Faults and
@@ -169,13 +172,39 @@ int Fabric::port_to(topo::NodeIndex from, topo::NodeIndex to) const {
   return it == port_map_.end() ? -1 : it->second;
 }
 
+topo::NodeIndex Fabric::peer_of(topo::NodeIndex node, int port) const {
+  const auto it = peer_map_.find({node, port});
+  return it == peer_map_.end() ? -1 : it->second;
+}
+
+const analyze::Report* Fabric::analysis() const {
+  return analyzer_ ? &analyzer_->report() : nullptr;
+}
+
 void Fabric::install_routing(const topo::Topology& topo,
                              const topo::RoutingTable& routing) {
   // Pre-flight: the one spot where topology, routing and flow-control
-  // parameters are all known before any event is scheduled. kFail throws
-  // analyze::PreflightError on an at-risk verdict (campaign worker pools
-  // record it as the trial's failure).
-  analyze::preflight(cfg_.preflight, topo, routing, cfg_);
+  // parameters are all known before the new routes take effect. The
+  // analyzer is incremental, so a mid-run reroute after a link flap
+  // re-verdicts at delta cost; kFail throws analyze::PreflightError on an
+  // at-risk verdict (campaign worker pools record it as the trial's
+  // failure) — including flap-induced regressions mid-run.
+  if (cfg_.preflight != analyze::PreflightMode::kOff || cfg_.witness_check) {
+    if (!analyzer_ || analyzed_topo_ != &topo) {
+      analyze::Input in;
+      in.topo = &topo;
+      in.cfg = cfg_;
+      analyzer_ = std::make_unique<analyze::IncrementalAnalyzer>(in);
+      analyzed_topo_ = &topo;
+    }
+    const analyze::Report& rep = analyzer_->update(routing);
+    const int ordinal = reverdicts_++;
+    if (tracer_)
+      tracer_->record(trace::EventType::kAnalyzeVerdict, net_.sched().now(),
+                      -1, -1, -1, ordinal,
+                      static_cast<std::int64_t>(rep.verdict()));
+    analyze::preflight_verdict(cfg_.preflight, rep);
+  }
   for (topo::NodeIndex s : topo.switches()) {
     net::SwitchNode& swn = sw(s);
     swn.clear_routes();

@@ -19,6 +19,11 @@ namespace gfc::par {
 class Engine;
 }
 
+namespace gfc::analyze {
+class IncrementalAnalyzer;
+struct Report;
+}  // namespace gfc::analyze
+
 namespace gfc::runner {
 
 /// Build the flow-control module configured in `cfg` (one fresh instance
@@ -38,6 +43,20 @@ class Fabric {
 
   /// Port index on `from` of the (up) link toward `to`; -1 if absent.
   int port_to(topo::NodeIndex from, topo::NodeIndex to) const;
+
+  /// Inverse of port_to: the node `node`'s `port` leads to; -1 if absent.
+  /// (How deadlock witness cycles — (node, egress port) pairs — are mapped
+  /// back to directed topology links for the static cross-check.)
+  topo::NodeIndex peer_of(topo::NodeIndex node, int port) const;
+
+  /// The current static analysis, refreshed by install_routing whenever
+  /// cfg.preflight != kOff or cfg.witness_check; null before the first
+  /// install (or when both are off).
+  const analyze::Report* analysis() const;
+
+  /// How many verdicts install_routing has issued (1 for the initial
+  /// install, +1 per mid-run reroute).
+  int analysis_reverdicts() const { return reverdicts_; }
 
   /// Translate a next-hop-node routing table into per-switch port routes.
   void install_routing(const topo::Topology& topo,
@@ -76,6 +95,15 @@ class Fabric {
   /// Declared after net_: the plan unhooks itself before the network dies.
   std::unique_ptr<fault::FaultPlan> fault_plan_;
   std::map<std::pair<topo::NodeIndex, topo::NodeIndex>, int> port_map_;
+  /// (node, port) -> neighbor: port_map_ inverted, for witness mapping.
+  std::map<std::pair<topo::NodeIndex, int>, topo::NodeIndex> peer_map_;
+  /// Fault-aware incremental re-analysis (see src/analyze/incremental.hpp):
+  /// created lazily by the first install_routing that wants a verdict, fed
+  /// a fresh report on every reroute. The analyzed topology must outlive
+  /// the fabric (scenario runners keep it on their RunContext).
+  std::unique_ptr<analyze::IncrementalAnalyzer> analyzer_;
+  const topo::Topology* analyzed_topo_ = nullptr;
+  int reverdicts_ = 0;
   /// Declared last: the engine joins its workers and restores the
   /// single-threaded wiring before anything else tears down.
   std::unique_ptr<par::Engine> engine_;

@@ -1,7 +1,9 @@
 #include "runner/scenarios.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
+#include "analyze/analyze.hpp"
 #include "mech/dcfit.hpp"
 #include "stats/flow_stats.hpp"
 #include "stats/throughput.hpp"
@@ -88,6 +90,29 @@ std::string describe_cycle(const stats::DeadlockDetector& det,
   return out;
 }
 
+bool check_witness_cycle(Fabric& fabric, const stats::DeadlockDetector& det) {
+  const analyze::Report* rep = fabric.analysis();
+  if (rep == nullptr || det.cycle().empty() || rep->truncated) return false;
+  // Each witness hop (node, egress port) is the directed link node ->
+  // peer(node, port); the detector's wait-for edges guarantee the peer is
+  // the next hop's node, so the mapped links close into a cycle.
+  std::vector<topo::DirectedLink> links;
+  for (const auto& [nid, port] : det.cycle()) {
+    const topo::NodeIndex peer = fabric.peer_of(nid, port);
+    if (peer < 0 || fabric.net().sw(peer) == nullptr) return false;
+    links.push_back({static_cast<topo::NodeIndex>(nid), peer});
+  }
+  topo::canonicalize_cycle(&links);
+  if (!analyze::report_contains_cycle(*rep, links))
+    throw std::runtime_error(
+        "witness cross-check failed: runtime deadlock cycle [" +
+        describe_cycle(det, fabric.net()) +
+        "] is missing from the static enumeration (" +
+        std::to_string(rep->cycles.size()) +
+        " cycles) — the analyzer is unsound for this topology/routing");
+  return true;
+}
+
 RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
   net::Network& net = scenario.fabric->net();
   const ScenarioConfig& cfg = scenario.fabric->config();
@@ -124,6 +149,18 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
                              describe_cycle(det, fabric.net()));
     };
   }
+  int witness_checks = 0;
+  if (cfg.witness_check) {
+    // Compose after the flight dump so the post-mortem is on disk before a
+    // failed cross-check throws the run away.
+    Fabric& fabric = *scenario.fabric;
+    const auto prev = dl_opts.on_detect;
+    dl_opts.on_detect = [&fabric, prev,
+                         &witness_checks](stats::DeadlockDetector& det) {
+      if (prev) prev(det);
+      if (check_witness_cycle(fabric, det)) ++witness_checks;
+    };
+  }
   stats::DeadlockDetector detector(net, dl_opts);
 
   workload::ClosedLoopGenerator gen(net, hosts, racks, opts.sizes,
@@ -152,6 +189,10 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts) {
   out.mech_packets_sacrificed = dcfit.packets_sacrificed;
   out.mech_bypasses = dcfit.bypasses;
   out.mech_first_detection_latency = dcfit.first_detection_latency;
+  out.analyze_reverdicts = scenario.fabric->analysis_reverdicts();
+  if (const analyze::Report* rep = scenario.fabric->analysis())
+    out.analyze_verdict = analyze::verdict_name(rep->verdict());
+  out.witness_checks = witness_checks;
   return out;
 }
 

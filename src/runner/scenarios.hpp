@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mech/cbd_routing.hpp"
@@ -88,6 +89,15 @@ struct RunSummary {
   std::uint64_t mech_packets_sacrificed = 0;
   int mech_bypasses = 0;
   sim::TimePs mech_first_detection_latency = -1;
+  // Fault-aware static analysis (nonzero/nonempty only when the fabric ran
+  // with preflight enabled or cfg.witness_check):
+  /// Verdicts issued by install_routing (1 initial + 1 per mid-run reroute).
+  int analyze_reverdicts = 0;
+  /// The verdict current at the end of the run ("" when analysis is off).
+  std::string analyze_verdict;
+  /// Runtime deadlock witnesses cross-checked against the static
+  /// enumeration (each one found missing throws out of the run instead).
+  int witness_checks = 0;
 };
 struct RunOptions {
   sim::TimePs duration = sim::ms(20);
@@ -109,5 +119,16 @@ RunSummary run_closed_loop(FatTreeScenario& scenario, const RunOptions& opts);
 /// used as the flight-dump reason line.
 std::string describe_cycle(const stats::DeadlockDetector& det,
                            net::Network& net);
+
+/// Soundness oracle: map the detector's witness cycle — (node, egress
+/// port) pairs — to directed topology links, canonicalize, and require
+/// membership in the fabric's current static cycle enumeration. Returns
+/// true when the check ran and passed; false when it was skipped (no
+/// analysis attached, empty witness, truncated enumeration — membership
+/// in a prefix proves nothing — or a hop that isn't switch-to-switch).
+/// Throws std::runtime_error when the cycle is missing: a runtime
+/// deadlock the static analyzer failed to predict means the analyzer is
+/// unsound, and that must never pass silently.
+bool check_witness_cycle(Fabric& fabric, const stats::DeadlockDetector& det);
 
 }  // namespace gfc::runner

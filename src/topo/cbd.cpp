@@ -28,51 +28,63 @@ void BufferDependencyGraph::add_path(const std::vector<NodeIndex>& path) {
   }
 }
 
-void BufferDependencyGraph::add_routing_closure(const RoutingTable& routing) {
-  // Per destination, only switches actually reachable from some source
-  // host along the ECMP DAG contribute dependencies: a next-hop table
-  // entry no packet can arrive at (common after failures, when a switch
-  // keeps a bounce route toward d but nothing routes *through* it toward
-  // d) must not fabricate cycles.
-  std::vector<char> reachable(topo_->node_count());
+std::vector<ClosureOp> destination_closure_ops(const Topology& topo,
+                                               const RoutingTable& routing,
+                                               NodeIndex dst) {
+  // Only switches actually reachable from some source host along the ECMP
+  // DAG contribute dependencies: a next-hop table entry no packet can
+  // arrive at (common after failures, when a switch keeps a bounce route
+  // toward d but nothing routes *through* it toward d) must not fabricate
+  // cycles.
+  std::vector<ClosureOp> ops;
+  std::vector<char> reachable(topo.node_count());
   std::vector<NodeIndex> frontier;
-  for (NodeIndex dst : topo_->hosts()) {
-    std::fill(reachable.begin(), reachable.end(), 0);
-    frontier.clear();
-    for (NodeIndex s : topo_->hosts()) {
-      if (s == dst) continue;
-      for (NodeIndex n : routing.next_hops(s, dst)) {
-        if (!topo_->is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
-          reachable[static_cast<std::size_t>(n)] = 1;
-          frontier.push_back(n);
-        }
-      }
-    }
-    while (!frontier.empty()) {
-      const NodeIndex v = frontier.back();
-      frontier.pop_back();
-      for (NodeIndex n : routing.next_hops(v, dst)) {
-        if (!topo_->is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
-          reachable[static_cast<std::size_t>(n)] = 1;
-          frontier.push_back(n);
-        }
-      }
-    }
-    for (NodeIndex s : topo_->switches()) {
-      if (!reachable[static_cast<std::size_t>(s)]) continue;
-      for (NodeIndex n : routing.next_hops(s, dst)) {
-        if (topo_->is_host(n)) continue;
-        const int a = vertex({s, n});
-        for (NodeIndex m : routing.next_hops(n, dst)) {
-          if (topo_->is_host(m)) continue;
-          const int b = vertex({n, m});
-          auto& out = edges_[static_cast<std::size_t>(a)];
-          if (std::find(out.begin(), out.end(), b) == out.end())
-            out.push_back(b);
-        }
+  for (NodeIndex s : topo.hosts()) {
+    if (s == dst) continue;
+    for (NodeIndex n : routing.next_hops(s, dst)) {
+      if (!topo.is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
+        reachable[static_cast<std::size_t>(n)] = 1;
+        frontier.push_back(n);
       }
     }
   }
+  while (!frontier.empty()) {
+    const NodeIndex v = frontier.back();
+    frontier.pop_back();
+    for (NodeIndex n : routing.next_hops(v, dst)) {
+      if (!topo.is_host(n) && !reachable[static_cast<std::size_t>(n)]) {
+        reachable[static_cast<std::size_t>(n)] = 1;
+        frontier.push_back(n);
+      }
+    }
+  }
+  for (NodeIndex s : topo.switches()) {
+    if (!reachable[static_cast<std::size_t>(s)]) continue;
+    for (NodeIndex n : routing.next_hops(s, dst)) {
+      if (topo.is_host(n)) continue;
+      ops.push_back({{s, n}, {}, false});
+      for (NodeIndex m : routing.next_hops(n, dst)) {
+        if (topo.is_host(m)) continue;
+        ops.push_back({{s, n}, {n, m}, true});
+      }
+    }
+  }
+  return ops;
+}
+
+void BufferDependencyGraph::apply_ops(const std::vector<ClosureOp>& ops) {
+  for (const ClosureOp& op : ops) {
+    const int a = vertex(op.a);
+    if (!op.edge) continue;
+    const int b = vertex(op.b);
+    auto& out = edges_[static_cast<std::size_t>(a)];
+    if (std::find(out.begin(), out.end(), b) == out.end()) out.push_back(b);
+  }
+}
+
+void BufferDependencyGraph::add_routing_closure(const RoutingTable& routing) {
+  for (NodeIndex dst : topo_->hosts())
+    apply_ops(destination_closure_ops(*topo_, routing, dst));
 }
 
 void canonicalize_cycle(std::vector<DirectedLink>* cycle) {

@@ -24,10 +24,11 @@ enum Category : std::uint32_t {
   kCatDeadlock = 1u << 6,  // deadlock detection and recovery
   kCatFlow = 1u << 7,      // flow start / completion, host deliveries
   kCatMech = 1u << 8,      // mechanism baselines: DCFIT triggers and breaks
-  kCatAll = 0x1FFu,
+  kCatAnalyze = 1u << 9,   // static re-analysis verdicts on routing installs
+  kCatAll = 0x3FFu,
 };
 
-inline constexpr int kNumCategories = 9;
+inline constexpr int kNumCategories = 10;
 
 enum class EventType : std::uint8_t {
   // kCatPort
@@ -71,6 +72,9 @@ enum class EventType : std::uint8_t {
   kTriggerPropagate,  // upstream trigger forwarded (value = origin node)
   kTriggerReturn,     // own trigger came back: deadlock (value = latency ps)
   kMechBreak,         // break action taken (value = packets dropped; 0=bypass)
+  // kCatAnalyze (incremental re-analysis, src/analyze/incremental.*)
+  kAnalyzeVerdict,  // verdict after a routing install (id = re-verdict
+                    // ordinal, value = analyze::Verdict enum value)
 
   kNumEventTypes,  // sentinel
 };
@@ -114,6 +118,8 @@ constexpr Category category_of(EventType t) {
     case EventType::kTriggerReturn:
     case EventType::kMechBreak:
       return kCatMech;
+    case EventType::kAnalyzeVerdict:
+      return kCatAnalyze;
     default:
       return kCatFlow;
   }

@@ -18,7 +18,7 @@ constexpr std::array<const char*, static_cast<int>(EventType::kNumEventTypes)>
         "wake_cancel",     "wake_fire",        "deadlock_detect",
         "deadlock_recover", "flow_start",      "flow_complete",
         "deliver",          "trigger_originate", "trigger_propagate",
-        "trigger_return",  "mech_break",
+        "trigger_return",  "mech_break",        "analyze_verdict",
 };
 
 struct CategoryName {
@@ -35,6 +35,7 @@ constexpr std::array<CategoryName, kNumCategories> kCategoryNames = {{
     {kCatDeadlock, "deadlock"},
     {kCatFlow, "flow"},
     {kCatMech, "mech"},
+    {kCatAnalyze, "analyze"},
 }};
 
 }  // namespace

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "analyze/repair.hpp"
 #include "analyze/scenario.hpp"
+#include "analyze/sweep.hpp"
 #include "runner/scenarios.hpp"
 #include "sim/random.hpp"
 #include "stats/deadlock.hpp"
@@ -83,6 +85,25 @@ TEST(AnalyzeGolden, RoutingLoopPfc) {
       analyze_spec("loop2", cli_config(runner::FcKind::kPfc, 300'000));
   EXPECT_EQ(r.json(),
             read_file(GFC_TEST_DATA_DIR "/golden/loop2_pfc.json"));
+}
+
+// Regenerate with:
+//   build/tools/gfc-analyze ring:3:2 --fc pfc --buffer 1000000 --failures 1
+//     --suggest-repairs --json tests/golden/ring3_pfc_failures.json
+TEST(AnalyzeGolden, RingPfcFailureSweepWithRepairs) {
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario("ring:3:2", &sc, &err)) << err;
+  Input in;
+  in.topo = &sc.topo;
+  in.routing = &sc.routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 1'000'000);
+  in.flows = sc.flows;
+  in.scenario = sc.name;
+  Report r = sweep_failures(in, 1);
+  r.repairs = suggest_repairs(in, r);
+  EXPECT_EQ(r.json(),
+            read_file(GFC_TEST_DATA_DIR "/golden/ring3_pfc_failures.json"));
 }
 
 // --- Structural properties of the enumeration. ---
@@ -158,6 +179,16 @@ TEST(AnalyzeCycles, TruncationIsReportedNotSilent) {
   EXPECT_TRUE(r.truncated);
   EXPECT_EQ(r.cycles.size(), 16u);
   EXPECT_FALSE(r.cbd_free());
+  // The verdict from a prefix of the cycle set proves nothing about the
+  // cycles it never saw: truncation always degrades to at_risk, even for
+  // mechanisms whose bounds would otherwise argue "safe".
+  EXPECT_EQ(r.verdict(), Verdict::kAtRisk);
+  const Report g = analyze_spec(
+      "fattree:4:seed=12", cli_config(runner::FcKind::kGfcBuffer, 300'000),
+      16);
+  EXPECT_TRUE(g.truncated);
+  EXPECT_TRUE(g.bounds_ok());
+  EXPECT_EQ(g.verdict(), Verdict::kAtRisk);
 }
 
 TEST(AnalyzeCycles, WitnessIsCanonicalAndDeterministic) {

@@ -217,6 +217,21 @@ TEST(Cli, ParsesCampaignFlags) {
   EXPECT_FALSE(o2.quick);
 }
 
+TEST(Cli, AnalyzeAndCbdFreeRoutingRoundTrip) {
+  // The campaign binaries assign these straight into ScenarioConfig /
+  // FcSetup; the round trip here is what makes "--analyze=fail
+  // --cbd-free-routing" a provable combination (pre-flight must pass on
+  // the restricted tables) on all four of them.
+  const char* argv[] = {"prog", "--analyze=fail", "--cbd-free-routing"};
+  const CliOptions o = parse_cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(o.preflight, gfc::analyze::PreflightMode::kFail);
+  EXPECT_TRUE(o.cbd_free_routing);
+  const char* argv2[] = {"prog", "--analyze"};
+  const CliOptions o2 = parse_cli(2, const_cast<char**>(argv2));
+  EXPECT_EQ(o2.preflight, gfc::analyze::PreflightMode::kWarn);
+  EXPECT_FALSE(o2.cbd_free_routing);  // default stays off
+}
+
 // ---------------------------------------------------------------------------
 // Crash-safe campaigns: journal, resume, sharding, watchdog.
 

@@ -1,0 +1,409 @@
+// Tests for the fault-aware analysis layer (src/analyze/incremental,
+// sweep, repair + the runner wiring): the load-bearing randomized
+// flap-sequence differential harness (incremental reports must be
+// byte-identical to from-scratch analysis after any down/up sequence),
+// witness-cycle membership properties, the k-failure sweep's culprit
+// semantics, repair verification, and the Fabric re-verdict plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "analyze/incremental.hpp"
+#include "analyze/repair.hpp"
+#include "analyze/scenario.hpp"
+#include "analyze/sweep.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/random.hpp"
+#include "stats/deadlock.hpp"
+#include "topo/builders.hpp"
+#include "topo/cbd.hpp"
+#include "topo/routing.hpp"
+#include "topo/scenario_gen.hpp"
+
+namespace gfc::analyze {
+namespace {
+
+runner::ScenarioConfig cli_config(runner::FcKind kind, std::int64_t buffer) {
+  runner::ScenarioConfig cfg;
+  cfg.switch_buffer = buffer;
+  cfg.fc = runner::FcSetup::derive(kind, buffer, cfg.link.rate, cfg.tau(),
+                                   cfg.link.mtu);
+  return cfg;
+}
+
+Input input_for(const topo::Topology& t, const runner::ScenarioConfig& cfg,
+                const std::string& scenario) {
+  Input in;
+  in.topo = &t;
+  in.cfg = cfg;
+  in.scenario = scenario;
+  return in;
+}
+
+// --- The acceptance-criterion differential: after ANY link down/up
+// sequence, the incremental report is byte-identical to a from-scratch
+// analyze() on the mutated topology. Deltas toggle a random switch link
+// (fail when up, restore when down), recompute shortest paths, and
+// compare full JSON bytes — the strictest equality the report offers.
+
+std::size_t run_flap_differential(topo::Topology& t,
+                                  const runner::ScenarioConfig& cfg,
+                                  const std::string& label, int deltas,
+                                  std::uint64_t seed) {
+  SCOPED_TRACE(label);
+  const Input in = input_for(t, cfg, label);
+  IncrementalAnalyzer inc(in);
+  const std::vector<topo::LinkIndex> candidates = t.switch_links();
+  sim::Rng rng(seed);
+  std::size_t mismatches = 0;
+  for (int step = 0; step < deltas; ++step) {
+    const topo::LinkIndex li = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    if (t.link(li).up)
+      t.fail_link(li);
+    else
+      t.restore_link(li);
+    const topo::RoutingTable routing = topo::compute_shortest_paths(t);
+    const std::string incremental = inc.update(routing).json();
+    Input scratch = in;
+    scratch.routing = &routing;
+    const std::string fresh = analyze(scratch).json();
+    if (incremental != fresh) {
+      ++mismatches;
+      ADD_FAILURE() << label << " step " << step << " (link " << li
+                    << "): incremental report diverged from from-scratch";
+      break;  // one full-JSON diff in the log is enough
+    }
+  }
+  return mismatches;
+}
+
+TEST(IncrementalDifferential, RingFlapSequencesMatchFromScratch) {
+  // The bulk of the 10^4-delta budget runs on cheap rings (seconds, not
+  // minutes): every delta still exercises the dst-cache compare, the SCC
+  // cache, and the truncation fallback decision.
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  topo::Topology r3;
+  topo::build_ring(r3, 3);
+  EXPECT_EQ(run_flap_differential(r3, cfg, "flap-ring3", 3000, 101), 0u);
+  topo::Topology r6;
+  topo::build_ring(r6, 6);
+  EXPECT_EQ(run_flap_differential(r6, cfg, "flap-ring6", 6500, 202), 0u);
+}
+
+TEST(IncrementalDifferential, FatTreeFlapSequencesMatchFromScratch) {
+  // Fat-tree deltas are where reroutes actually mint and dissolve cycles
+  // (valley paths after edge-agg failures); fewer steps, same invariant.
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kGfcBuffer, 300'000);
+  topo::Topology t;
+  topo::build_fattree(t, 4);
+  EXPECT_EQ(run_flap_differential(t, cfg, "flap-fattree4", 500, 303), 0u);
+}
+
+TEST(IncrementalDifferential, TruncatingTopologyStillMatches) {
+  // A dense graph that truncates at a tiny cap forces the exact
+  // whole-graph fallback; byte-identity must hold through it.
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  topo::Topology t;
+  topo::build_fattree(t, 4);
+  sim::Rng rng(12 * 7919 + 4);
+  topo::random_failures(t, rng, 0.05);
+  Input in = input_for(t, cfg, "flap-dense");
+  in.max_cycles = 16;
+  IncrementalAnalyzer inc(in);
+  const std::vector<topo::LinkIndex> candidates = t.switch_links();
+  sim::Rng flip(404);
+  for (int step = 0; step < 40; ++step) {
+    const topo::LinkIndex li = candidates[static_cast<std::size_t>(
+        flip.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    if (t.link(li).up)
+      t.fail_link(li);
+    else
+      t.restore_link(li);
+    const topo::RoutingTable routing = topo::compute_shortest_paths(t);
+    Input scratch = in;
+    scratch.routing = &routing;
+    ASSERT_EQ(inc.update(routing).json(), analyze(scratch).json())
+        << "step " << step;
+  }
+  EXPECT_GT(inc.stats().full_fallbacks, 0u);
+}
+
+TEST(IncrementalStats, CachesEngageAcrossAFlapPair) {
+  // The dst cache compares against the PREVIOUS routing column, so an
+  // unchanged routing must reuse every destination (and the cyclic ring
+  // SCC must hit the shape cache), while a flap must recompute at least
+  // the columns the reroute touched.
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario("ring:3:2", &sc, &err)) << err;
+  topo::Topology& t = sc.topo;
+  const std::size_t hosts = t.hosts().size();
+  IncrementalAnalyzer inc(
+      input_for(t, cli_config(runner::FcKind::kPfc, 300'000), "cache-check"));
+  inc.update(sc.routing);  // the forced ring routing: one cyclic SCC
+  EXPECT_EQ(inc.stats().dst_recomputed, hosts);
+  EXPECT_EQ(inc.stats().scc_enumerations, 1u);
+  inc.update(sc.routing);  // identical routing: everything served from cache
+  EXPECT_EQ(inc.stats().dst_reused, hosts);
+  EXPECT_EQ(inc.stats().scc_reused, 1u);
+  const topo::LinkIndex li = t.switch_links().front();
+  t.fail_link(li);
+  inc.update(topo::compute_shortest_paths(t));
+  t.restore_link(li);
+  inc.update(topo::compute_shortest_paths(t));
+  EXPECT_EQ(inc.stats().updates, 4u);
+  EXPECT_GT(inc.stats().dst_recomputed, hosts);
+  EXPECT_EQ(inc.stats().full_fallbacks, 0u);
+}
+
+// --- Witness-cycle membership properties (ring / loop2 / fattree): a
+// runtime witness walks the cycle starting at an arbitrary hop, so every
+// rotation of every enumerated cycle must canonicalize back to a member,
+// and corrupted cycles must not.
+
+void check_rotation_membership(const std::string& spec) {
+  SCOPED_TRACE(spec);
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario(spec, &sc, &err)) << err;
+  Input in;
+  in.topo = &sc.topo;
+  in.routing = &sc.routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  in.scenario = sc.name;
+  const Report r = analyze(in);
+  ASSERT_FALSE(r.cycles.empty());
+  for (const CycleInfo& c : r.cycles) {
+    for (std::size_t off = 0; off < c.links.size(); ++off) {
+      std::vector<topo::DirectedLink> rotated(c.links.begin() + off,
+                                              c.links.end());
+      rotated.insert(rotated.end(), c.links.begin(), c.links.begin() + off);
+      topo::canonicalize_cycle(&rotated);
+      EXPECT_TRUE(report_contains_cycle(r, rotated));
+    }
+    // A corrupted witness (one hop replaced by a bogus link) is rejected.
+    std::vector<topo::DirectedLink> bogus = c.links;
+    bogus.back() = {999, 998};
+    topo::canonicalize_cycle(&bogus);
+    EXPECT_FALSE(report_contains_cycle(r, bogus));
+  }
+}
+
+TEST(WitnessOracle, RotationsOfEveryCycleAreMembers) {
+  check_rotation_membership("ring:3:2");
+  check_rotation_membership("ring:6:3");
+  check_rotation_membership("loop2");
+  check_rotation_membership("fattree:4:seed=22");
+}
+
+TEST(WitnessOracle, RingRuntimeWitnessIsInStaticEnumeration) {
+  // The ring deadlocks organically under PFC; the detector's witness
+  // cycle must map onto the static enumeration (check_witness_cycle
+  // throws the run away otherwise).
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  cfg.witness_check = true;
+  runner::RingScenario s = runner::make_ring(cfg, 3, 2);
+  net::Network& net = s.fabric->net();
+  stats::DeadlockOptions dl_opts;
+  dl_opts.stop_on_detect = true;
+  int checked = 0;
+  dl_opts.on_detect = [&s, &checked](stats::DeadlockDetector& det) {
+    if (runner::check_witness_cycle(*s.fabric, det)) ++checked;
+  };
+  stats::DeadlockDetector det(net, dl_opts);
+  net.run_until(sim::ms(8));
+  ASSERT_TRUE(det.deadlocked());
+  EXPECT_EQ(checked, 1);
+  EXPECT_EQ(s.fabric->analysis_reverdicts(), 1);
+}
+
+TEST(WitnessOracle, FatTreeStressWitnessIsInStaticEnumeration) {
+  // The Table-1 seed-22 stress probe realizes a fat-tree CBD at runtime;
+  // the cross-check must find its canonical cycle in the (post-failure)
+  // static enumeration.
+  topo::Topology t;
+  topo::build_fattree(t, 4);
+  sim::Rng rng(22 * 7919 + 4);
+  const auto failed = topo::random_failures(t, rng, 0.05);
+  const auto routing = topo::compute_shortest_paths(t);
+  topo::BufferDependencyGraph g(t);
+  g.add_routing_closure(routing);
+  const auto cbd = g.find_cycle();
+  ASSERT_TRUE(cbd.has_cbd);
+  auto stress = topo::build_cbd_stress(t, routing, cbd.cycle, rng);
+  ASSERT_TRUE(stress.covered);
+
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  cfg.witness_check = true;
+  auto sc = runner::make_fattree(cfg, 4, failed);
+  net::Network& net = sc.fabric->net();
+  for (const auto& f : stress.flows) {
+    net::Flow& flow =
+        net.create_flow(f.src, f.dst, 0, net::Flow::kUnbounded, 0);
+    flow.path_salt = f.salt;
+  }
+  stats::DeadlockOptions dl_opts;
+  dl_opts.stop_on_detect = true;
+  int checked = 0;
+  dl_opts.on_detect = [&sc, &checked](stats::DeadlockDetector& det) {
+    EXPECT_TRUE(runner::check_witness_cycle(*sc.fabric, det));
+    ++checked;
+  };
+  stats::DeadlockDetector det(net, dl_opts);
+  net.run_until(sim::ms(8));
+  ASSERT_TRUE(det.deadlocked());
+  EXPECT_EQ(checked, 1);
+}
+
+TEST(WitnessOracle, SkipsWhenAnalysisIsOff) {
+  // No preflight, no witness_check: the fabric holds no analysis and the
+  // check reports "skipped", never a false positive.
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  runner::RingScenario s = runner::make_ring(cfg, 3, 2);
+  net::Network& net = s.fabric->net();
+  stats::DeadlockOptions dl_opts;
+  dl_opts.stop_on_detect = true;
+  stats::DeadlockDetector det(net, dl_opts);
+  net.run_until(sim::ms(8));
+  ASSERT_TRUE(det.deadlocked());
+  EXPECT_EQ(s.fabric->analysis(), nullptr);
+  EXPECT_FALSE(runner::check_witness_cycle(*s.fabric, det));
+}
+
+// --- Fabric re-verdict plumbing: mid-run reroutes re-analyze
+// incrementally and the result matches from-scratch analysis.
+
+TEST(IncrementalRunner, ReinstallReverdictsAndMatchesFromScratch) {
+  runner::ScenarioConfig cfg = cli_config(runner::FcKind::kGfcBuffer, 300'000);
+  cfg.witness_check = true;
+  runner::FatTreeScenario s = runner::make_fattree(cfg, 4);
+  EXPECT_EQ(s.fabric->analysis_reverdicts(), 1);
+  ASSERT_NE(s.fabric->analysis(), nullptr);
+  EXPECT_EQ(s.fabric->analysis()->verdict(), Verdict::kDeadlockFree);
+
+  const auto links = s.topo.switch_links();
+  s.topo.fail_link(links[links.size() / 2]);
+  s.routing = topo::compute_shortest_paths(s.topo);
+  s.fabric->install_routing(s.topo, s.routing);
+  EXPECT_EQ(s.fabric->analysis_reverdicts(), 2);
+
+  Input in;
+  in.topo = &s.topo;
+  in.routing = &s.routing;
+  in.cfg = cfg;
+  EXPECT_EQ(s.fabric->analysis()->json(), analyze(in).json());
+}
+
+// --- The k-failure sweep.
+
+TEST(FailureSweepTest, RingCombosAreExhaustiveAndDeterministic) {
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario("ring:3:2", &sc, &err)) << err;
+  Input in;
+  in.topo = &sc.topo;
+  in.routing = &sc.routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  in.scenario = sc.name;
+  const Report r = sweep_failures(in, 2);
+  ASSERT_TRUE(r.failure_sweep.has_value());
+  const FailureSweep& fs = *r.failure_sweep;
+  EXPECT_EQ(fs.max_failures, 2);
+  // 3 switch-switch links: C(3,1) + C(3,2) = 6 combos.
+  EXPECT_EQ(fs.combos, 6u);
+  EXPECT_EQ(fs.results.size(), 6u);
+  // Baseline is already at_risk: nothing can "flip" off it.
+  EXPECT_EQ(fs.baseline, Verdict::kAtRisk);
+  EXPECT_EQ(fs.flipped, 0u);
+  EXPECT_TRUE(fs.culprits.empty());
+  // Lexicographic by size then position, links ascending inside a combo.
+  for (std::size_t i = 1; i < fs.results.size(); ++i) {
+    const auto& a = fs.results[i - 1].links;
+    const auto& b = fs.results[i].links;
+    EXPECT_TRUE(a.size() < b.size() || (a.size() == b.size() && a < b));
+  }
+  // The whole report (v2 JSON section included) is byte-deterministic.
+  EXPECT_EQ(r.json(), sweep_failures(in, 2).json());
+}
+
+TEST(FailureSweepTest, FlipSemanticsOnDeadlockFreeBaseline) {
+  // Full fat-tree (SPF = up*/down* = no cycles): the baseline is
+  // deadlock_free, and each combo's `flips` must equal "verdict isn't".
+  topo::Topology t;
+  topo::build_fattree(t, 4);
+  const auto routing = topo::compute_shortest_paths(t);
+  Input in;
+  in.topo = &t;
+  in.routing = &routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  in.scenario = "fattree4-sweep";
+  const Report r = sweep_failures(in, 1);
+  ASSERT_TRUE(r.failure_sweep.has_value());
+  const FailureSweep& fs = *r.failure_sweep;
+  EXPECT_EQ(fs.baseline, Verdict::kDeadlockFree);
+  EXPECT_EQ(fs.combos, t.switch_links().size());
+  std::size_t flipped = 0;
+  for (const FailureCombo& c : fs.results) {
+    EXPECT_EQ(c.flips, c.verdict != Verdict::kDeadlockFree);
+    if (c.flips) ++flipped;
+  }
+  EXPECT_EQ(fs.flipped, flipped);
+  // Every size-1 flipping combo is trivially minimal: culprits == flips.
+  EXPECT_EQ(fs.culprits.size(), flipped);
+  for (std::size_t idx : fs.culprits) {
+    ASSERT_LT(idx, fs.results.size());
+    EXPECT_TRUE(fs.results[idx].flips);
+  }
+}
+
+// --- Repair suggestions.
+
+TEST(RepairTest, RingRepairsAreVerifiedCbdFree) {
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario("ring:3:2", &sc, &err)) << err;
+  Input in;
+  in.topo = &sc.topo;
+  in.routing = &sc.routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  in.flows = sc.flows;
+  in.scenario = sc.name;
+  Report r = analyze(in);
+  ASSERT_FALSE(r.cycles.empty());
+  const Repairs rep = suggest_repairs(in, r);
+  ASSERT_FALSE(rep.suggestions.empty());
+  for (const RepairSuggestion& s : rep.suggestions) {
+    EXPECT_TRUE(s.kind == "link_removal" || s.kind == "turn_restriction");
+    EXPECT_FALSE(s.removals.empty());
+    EXPECT_GT(s.cycles_broken, 0u);
+    // The ring's single CBD is trivially breakable both ways; the
+    // re-verification must confirm it.
+    EXPECT_TRUE(s.verified_cbd_free) << s.kind;
+  }
+  // Deterministic, including through the JSON section.
+  r.repairs = rep;
+  Report r2 = analyze(in);
+  r2.repairs = suggest_repairs(in, r2);
+  EXPECT_EQ(r.json(), r2.json());
+}
+
+TEST(RepairTest, CbdFreeReportYieldsNoSuggestions) {
+  BuiltScenario sc;
+  std::string err;
+  ASSERT_TRUE(build_scenario("incast:4", &sc, &err)) << err;
+  Input in;
+  in.topo = &sc.topo;
+  in.routing = &sc.routing;
+  in.cfg = cli_config(runner::FcKind::kPfc, 300'000);
+  in.scenario = sc.name;
+  const Report r = analyze(in);
+  ASSERT_TRUE(r.cbd_free());
+  EXPECT_TRUE(suggest_repairs(in, r).suggestions.empty());
+}
+
+}  // namespace
+}  // namespace gfc::analyze

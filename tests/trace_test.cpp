@@ -78,6 +78,9 @@ TEST(Categories, ParseAndFormatRoundTrip) {
   EXPECT_EQ(categories_to_string(kCatAll), "all");
   const std::uint32_t mask = kCatCredit | kCatDeadlock;
   EXPECT_EQ(parse_categories(categories_to_string(mask)), mask);
+  // Static re-verdict events are their own filterable category.
+  EXPECT_EQ(parse_categories("analyze", &err), kCatAnalyze);
+  EXPECT_EQ(category_of(EventType::kAnalyzeVerdict), kCatAnalyze);
 }
 
 TEST(Categories, EveryTypeNameRoundTrips) {

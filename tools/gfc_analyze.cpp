@@ -29,6 +29,15 @@
 //                    explicit mechanism parameters; omitted ones are
 //                    derived from --buffer via the paper's bounds
 //   --max-cycles N   Johnson enumeration cap (default 4096)
+//   --failures K     exhaustively fail every combination of <= K
+//                    switch-to-switch links, reroute (shortest paths) and
+//                    re-analyze; the report gains a "failure_sweep"
+//                    section with per-combo verdicts and minimal culprit
+//                    sets (combos flipping deadlock_free -> risky)
+//   --suggest-repairs
+//                    propose greedy minimal hitting sets (link removals
+//                    and turn restrictions) breaking the enumerated
+//                    (preferring activated) cycles, statically re-verified
 //   --json PATH      write the JSON report to PATH ('-' = stdout, which
 //                    suppresses the human report)
 //   --fail           exit 3 when the verdict is at_risk
@@ -40,7 +49,9 @@
 #include <string>
 
 #include "analyze/analyze.hpp"
+#include "analyze/repair.hpp"
 #include "analyze/scenario.hpp"
+#include "analyze/sweep.hpp"
 #include "mech/cbd_routing.hpp"
 
 using namespace gfc;
@@ -53,7 +64,7 @@ int usage(const char* prog) {
       "usage: %s SCENARIO [--fc NAME] [--buffer BYTES]\n"
       "          [--b1 B] [--b0 B] [--bm B] [--xoff B] [--xon B]\n"
       "          [--period-us T] [--max-cycles N] [--json PATH] [--fail]\n"
-      "          [--cbd-free-routing]\n"
+      "          [--cbd-free-routing] [--failures K] [--suggest-repairs]\n"
       "SCENARIO: ring[:N[:H]] | fattree:K[:seed=S|:fail=a,b] | incast:N |"
       " loop2\n"
       "          (%s --list-scenarios for details)\n",
@@ -107,6 +118,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool fail_on_risk = false;
   bool cbd_free = false;
+  int failures = 0;
+  bool suggest_repairs = false;
 
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
@@ -140,6 +153,12 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(a, "--json")) {
       if (i + 1 >= argc) return usage(argv[0]);
       json_path = argv[++i];
+    } else if (!std::strcmp(a, "--failures")) {
+      std::int64_t v = 0;
+      if (!value(&v) || v < 1 || v > 8) return usage(argv[0]);
+      failures = static_cast<int>(v);
+    } else if (!std::strcmp(a, "--suggest-repairs")) {
+      suggest_repairs = true;
     } else if (!std::strcmp(a, "--fail")) {
       fail_on_risk = true;
     } else if (!std::strcmp(a, "--cbd-free-routing")) {
@@ -193,7 +212,9 @@ int main(int argc, char** argv) {
   in.flows = scenario.flows;
   in.max_cycles = max_cycles;
   in.scenario = scenario.name;
-  const analyze::Report report = analyze::analyze(in);
+  analyze::Report report = failures > 0 ? analyze::sweep_failures(in, failures)
+                                        : analyze::analyze(in);
+  if (suggest_repairs) report.repairs = analyze::suggest_repairs(in, report);
 
   if (json_path == "-") {
     std::fputs(report.json().c_str(), stdout);

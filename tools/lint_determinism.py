@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail if src/ contains a known source of nondeterminism.
+"""Fail if src/ (or tools/) contains a known source of nondeterminism.
 
 The simulator's contract is bit-identical output for a given seed at any
 --jobs count (tests/exp_test.cpp pins it; the gfc-analyze JSON is compared
@@ -31,6 +31,19 @@ RULES = [
      "thread identity read (worker identity must never reach results)"),
 ]
 
+# Extra rules for the analyzer only: src/analyze promises byte-identical
+# reports (golden JSON cmp in CI, and the incremental analyzer's whole
+# correctness argument is byte-equality with from-scratch analysis).
+# Iteration order must therefore never depend on addresses: a map or set
+# keyed on pointers iterates in allocation order, which varies run to run
+# under ASLR.
+ANALYZE_RULES = [
+    (re.compile(r"\b(?:map|set)\s*<[^<>,]*\*\s*[,>]"),
+     "pointer-keyed map/set in src/analyze (address-ordered iteration)"),
+    (re.compile(r"\bsort\([^;]*\[\]\([^)]*\*\s*\w+,"),
+     "sorting by pointer comparator in src/analyze (address order)"),
+]
+
 # Extra rules for the parallel core only: src/par promises byte-identical
 # results at any shard count, so every piece of cross-thread state must be
 # an atomic or sit behind the barrier mutex. These patterns catch the
@@ -48,8 +61,13 @@ PAR_RULES = [
 SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 
-def lint_file(path: pathlib.Path, in_par: bool) -> list[str]:
-    rules = RULES + PAR_RULES if in_par else RULES
+def lint_file(path: pathlib.Path, in_par: bool,
+              in_analyze: bool = False) -> list[str]:
+    rules = list(RULES)
+    if in_par:
+        rules += PAR_RULES
+    if in_analyze:
+        rules += ANALYZE_RULES
     findings = []
     for lineno, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -69,9 +87,18 @@ def main() -> int:
         return 2
     findings = []
     par = src / "par"
+    analyze = src / "analyze"
     for path in sorted(src.rglob("*")):
         if path.suffix in SUFFIXES:
-            findings.extend(lint_file(path, path.is_relative_to(par)))
+            findings.extend(lint_file(path, path.is_relative_to(par),
+                                      path.is_relative_to(analyze)))
+    # tools/ feeds the golden artifacts (gfc-analyze JSON above all), so it
+    # obeys the same base rules as src/.
+    tools = root / "tools"
+    if tools.is_dir():
+        for path in sorted(tools.rglob("*")):
+            if path.suffix in SUFFIXES:
+                findings.extend(lint_file(path, False, False))
     if findings:
         print("determinism lint: %d finding(s)" % len(findings))
         for f in findings:
